@@ -1,0 +1,92 @@
+// Command figures regenerates the paper's evaluation figures from
+// the simulation (see DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	figures -fig all -scale 1
+//	figures -fig 8 -scale 3 -seed 7
+//	figures -fig 11 -csv out/
+//
+// Figure IDs: 4, 6, 7, 8, 9, 10, 11, 13, headline, appA, appD, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"minkowski/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (4,6,7,8,9,10,11,13,headline,appA,appD,ablations,all)")
+	scale := flag.Int("scale", 1, "fidelity scale: 1 quick, 3 paper-like fleet/duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Scale: *scale}
+	var results []*experiments.Result
+	switch strings.ToLower(*fig) {
+	case "all":
+		results = experiments.All(o)
+	case "4", "fig04":
+		results = append(results, experiments.Fig04(o))
+	case "6", "fig06":
+		results = append(results, experiments.Fig06(o))
+	case "7", "fig07":
+		results = append(results, experiments.Fig07(o))
+	case "8", "fig08":
+		results = append(results, experiments.Fig08(o))
+	case "9", "fig09":
+		results = append(results, experiments.Fig09(o))
+	case "10", "fig10":
+		results = append(results, experiments.Fig10(o))
+	case "11", "fig11":
+		results = append(results, experiments.Fig11(o))
+	case "13", "fig13":
+		results = append(results, experiments.Fig13(o))
+	case "headline":
+		results = append(results, experiments.Headline(o))
+	case "appa":
+		results = append(results, experiments.AppA(o))
+	case "appd":
+		results = append(results, experiments.AppD(o))
+	case "ablations":
+		results = experiments.Ablations(o)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	for _, r := range results {
+		fmt.Println(r)
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSVs(dir string, r *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, rows := range r.CSV {
+		var b strings.Builder
+		for _, rec := range rows {
+			b.WriteString(strings.Join(rec, ","))
+			b.WriteByte('\n')
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, name))
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	return nil
+}

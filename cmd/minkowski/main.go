@@ -1,0 +1,54 @@
+// Command minkowski runs one full TS-SDN scenario and narrates it:
+// fleet status, topology evolution, availability, and the intent/
+// command activity of the controller.
+//
+// Usage:
+//
+//	minkowski -hours 24 -balloons 20 -seed 1 -report 1
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"minkowski"
+)
+
+func main() {
+	hours := flag.Float64("hours", 12, "simulated hours to run")
+	balloons := flag.Int("balloons", 20, "fleet size")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	reportEvery := flag.Float64("report", 2, "hours between status reports")
+	noPower := flag.Bool("nopower", false, "disable the diurnal power cycle")
+	predictive := flag.Float64("lead", 180, "predictive lead seconds (0 = reactive)")
+	flag.Parse()
+
+	s := minkowski.DefaultScenario()
+	s.Seed = *seed
+	s.FleetSize = *balloons
+	s.DisablePower = *noPower
+	s.PredictiveLeadS = *predictive
+	sim := minkowski.NewSimulation(s)
+
+	fmt.Printf("minkowski: %d balloons, %d ground stations, seed %d, %s mode\n",
+		s.FleetSize, len(s.GroundStations), s.Seed,
+		map[bool]string{true: "predictive", false: "reactive"}[*predictive > 0])
+	for elapsed := 0.0; elapsed < *hours; {
+		step := *reportEvery
+		if elapsed+step > *hours {
+			step = *hours - elapsed
+		}
+		sim.RunHours(step)
+		elapsed += step
+		fmt.Println("----")
+		fmt.Print(sim.Summary())
+	}
+	fmt.Println("====")
+	link, ctrl, data := sim.Availability()
+	fmt.Printf("final availability: link=%.3f control=%.3f data=%.3f\n", link, ctrl, data)
+	b2g, b2b := sim.LinkLifetimes()
+	fmt.Printf("link lifetimes: B2G %s | B2B %s\n", b2g.Summary(), b2b.Summary())
+	w, f, imp := sim.RecoveryStats()
+	fmt.Printf("recoveries: withdrawn %s | failed %s | improvement %.1f%%\n",
+		w.Summary(), f.Summary(), 100*imp)
+}

@@ -1,0 +1,54 @@
+// Kenya: a commercial-service day in the paper's deployment — 20
+// balloons over the western-Kenya region, three ground stations, the
+// full diurnal power cycle. Watch the network bootstrap after dawn,
+// serve through the day, and gracefully degrade as batteries reach
+// reserve in the first hours of darkness (§2.2 Power).
+//
+//	go run ./examples/kenya
+package main
+
+import (
+	"fmt"
+
+	"minkowski"
+)
+
+func main() {
+	s := minkowski.DefaultScenario()
+	s.Seed = 2021
+	s.FleetSize = 20
+	s.Season = minkowski.ShortRains
+	s.StartTODHours = 5 // just before dawn: watch the bootstrap
+
+	sim := minkowski.NewSimulation(s)
+	fmt.Println("a service day over Kenya: 20 balloons, 3 ground stations, short-rains weather")
+	fmt.Println("local time | links | powered | control | data")
+	for i := 0; i < 24; i++ {
+		sim.RunHours(1)
+		var powered, control, data int
+		for _, n := range sim.Nodes() {
+			if n.Kind != "balloon" {
+				continue
+			}
+			if n.Operational {
+				powered++
+			}
+			if n.ControlUp {
+				control++
+			}
+			if n.DataUp {
+				data++
+			}
+		}
+		tod := int(s.StartTODHours) + i + 1
+		fmt.Printf("   %02d:00   |  %3d  |   %2d    |   %2d    |  %2d\n",
+			tod%24, len(sim.Links()), powered, control, data)
+	}
+	fmt.Println()
+	link, control, data := sim.Availability()
+	fmt.Printf("availability across the service window: link=%.3f control=%.3f data=%.3f\n",
+		link, control, data)
+	b2g, b2b := sim.LinkLifetimes()
+	fmt.Printf("link lifetimes: B2G median %.0fs (n=%d) | B2B median %.0fs (n=%d)\n",
+		b2g.Median(), b2g.N(), b2b.Median(), b2b.N())
+}

@@ -1,0 +1,3 @@
+module minkowski
+
+go 1.22

@@ -1,0 +1,150 @@
+package cdpi
+
+import (
+	"minkowski/internal/sim"
+)
+
+// Enactor executes commands on a node (the core controller wires this
+// to the radio fabric and data-plane state). done reports eventual
+// success — for a link-establish that means the link came up, which
+// can take minutes.
+type Enactor interface {
+	Enact(cmd *Command, done func(ok bool))
+}
+
+// EnactorFunc adapts a function to Enactor.
+type EnactorFunc func(cmd *Command, done func(ok bool))
+
+// Enact implements Enactor.
+func (f EnactorFunc) Enact(cmd *Command, done func(ok bool)) { f(cmd, done) }
+
+// Agent is the SDN agent on one node: it receives commands over any
+// channel, holds them to their TTE, enacts them, and reports
+// responses over the fastest available channel. It also maintains the
+// node's in-band connection to the frontend (heartbeats + the
+// connect event that powers the side channel).
+type Agent struct {
+	Node string
+
+	eng      *sim.Engine
+	frontend *Frontend
+	enactor  Enactor
+
+	// connected tracks the agent's own view of in-band connectivity.
+	connected bool
+	// seen deduplicates retried commands (ID → true).
+	seen map[uint64]bool
+	// Enacted counts executed commands.
+	Enacted int
+}
+
+// AgentConfig tunes agent behaviour.
+type AgentConfig struct {
+	// HeartbeatIntervalS is the in-band heartbeat period.
+	HeartbeatIntervalS float64
+	// ConnCheckIntervalS is how often the agent probes its own mesh
+	// connectivity (cheap local check; 1 s in production, coarser in
+	// long simulations).
+	ConnCheckIntervalS float64
+}
+
+// DefaultAgentConfig returns production-like cadences.
+func DefaultAgentConfig() AgentConfig {
+	return AgentConfig{HeartbeatIntervalS: 5, ConnCheckIntervalS: 1}
+}
+
+// newAgent is created via Frontend.Register.
+func newAgent(eng *sim.Engine, fe *Frontend, node string, enactor Enactor, cfg AgentConfig) *Agent {
+	a := &Agent{
+		Node: node, eng: eng, frontend: fe, enactor: enactor,
+		seen: make(map[uint64]bool),
+	}
+	// Connectivity maintenance loop.
+	eng.Every(cfg.ConnCheckIntervalS, func() bool {
+		a.checkConnectivity()
+		return true
+	})
+	eng.Every(cfg.HeartbeatIntervalS, func() bool {
+		if a.connected {
+			a.frontend.ib.SendUp(a.Node, 48, func(ok bool) {
+				if ok {
+					a.frontend.heartbeat(a.Node)
+				}
+			})
+		}
+		return true
+	})
+	return a
+}
+
+// checkConnectivity updates the agent's in-band state and fires the
+// connect event on an off→on transition ("upon successfully
+// connecting to the mesh, the balloon's SDN agent would immediately
+// establish an in-band connection to the TS-SDN").
+func (a *Agent) checkConnectivity() {
+	now := a.frontend.ib.Connected(a.Node)
+	if now && !a.connected {
+		a.connected = true
+		a.frontend.ib.SendUp(a.Node, 96, func(ok bool) {
+			if ok {
+				a.frontend.agentConnected(a.Node)
+			}
+		})
+	} else if !now && a.connected {
+		a.connected = false
+	}
+}
+
+// receive handles a command arriving over some channel.
+func (a *Agent) receive(cmd *Command, via Channel) {
+	if a.seen[cmd.ID] {
+		// Duplicate of a retried command already handled.
+		return
+	}
+	a.seen[cmd.ID] = true
+	now := a.eng.Now()
+	if cmd.TTE > 0 && now > cmd.TTE && cmd.Kind.RequiresSync() {
+		// Arrived after its enactment time: the peer has already
+		// given up searching; executing now is useless. Drop and let
+		// the controller's timeout retry. (One of the paper's §4.2
+		// challenges.)
+		return
+	}
+	enactAt := now
+	if cmd.TTE > enactAt {
+		enactAt = cmd.TTE
+	}
+	a.eng.At(enactAt, func() {
+		a.Enacted++
+		a.enactor.Enact(cmd, func(ok bool) {
+			a.respond(cmd, ok)
+		})
+	})
+}
+
+// respond reports a command result over the fastest available
+// channel.
+func (a *Agent) respond(cmd *Command, ok bool) {
+	if a.connected {
+		a.frontend.ib.SendUp(a.Node, 64, func(delivered bool) {
+			if delivered {
+				a.frontend.response(cmd, ok, ChannelInBand)
+			} else {
+				a.respondSatcom(cmd, ok)
+			}
+		})
+		return
+	}
+	a.respondSatcom(cmd, ok)
+}
+
+// respondSatcom sends the response over the satellite path (modelled
+// as an uplink message with provider latency).
+func (a *Agent) respondSatcom(cmd *Command, ok bool) {
+	// The uplink shares the provider latency model; draw one.
+	p := a.frontend.satProviderForResponse()
+	lat := p.DrawOneWay(a.eng.RNG("satcom-up"))
+	a.eng.After(lat, func() {
+		a.frontend.response(cmd, ok, ChannelSatcom)
+	})
+}

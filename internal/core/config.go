@@ -1,0 +1,144 @@
+// Package core is Minkowski itself: the Temporospatial SDN controller
+// that wires every substrate together — weather truth and estimates,
+// wind and flight, platforms and power, the radio fabric, the MANET,
+// the hybrid satcom/in-band control plane, the Link Evaluator, the
+// Solver, the intent/actuation layer, the data plane, the northbound
+// interface, telemetry, and explainability (§2.3, Fig. 3/5).
+//
+// A Controller plus its World is one complete, deterministic
+// simulation of the Loon network; every figure in EXPERIMENTS.md is
+// produced by running one and reading its telemetry.
+package core
+
+import (
+	"minkowski/internal/antenna"
+	"minkowski/internal/geo"
+	"minkowski/internal/itu"
+	"minkowski/internal/weather"
+)
+
+// GroundStationSpec places one gateway site.
+type GroundStationSpec struct {
+	ID        string
+	Pos       geo.LLA
+	Terrain   []antenna.Occlusion
+	ECLatency float64 // wired EC one-way seconds
+}
+
+// Config assembles a scenario.
+type Config struct {
+	// Seed drives every random stream.
+	Seed int64
+	// Region is the service region.
+	Region weather.Region
+	// Season selects climatology and weather intensity.
+	Season itu.Season
+	// FleetSize is the balloon count.
+	FleetSize int
+	// GroundStations places the gateway sites (the paper operated
+	// three).
+	GroundStations []GroundStationSpec
+
+	// SolveIntervalS is the solve-cycle cadence.
+	SolveIntervalS float64
+	// PredictiveLeadS is how far ahead the Link Evaluator looks when
+	// feeding the solver. 0 disables prediction (the reactive
+	// ablation of the paper's headline comparison).
+	PredictiveLeadS float64
+	// TelemetrySampleS is the reachability sampling cadence.
+	TelemetrySampleS float64
+	// AgentConnCheckS is the SDN agents' connectivity probe cadence
+	// (1 s in production; coarser keeps long simulations fast).
+	AgentConnCheckS float64
+	// MaxEstablishAttempts bounds per-intent link retries ("95% of
+	// installed links succeeding within 2 and 3 attempts").
+	MaxEstablishAttempts int
+	// ChurnSampling enables per-minute candidate-graph diffs (Fig. 4;
+	// expensive — only enable for that experiment).
+	ChurnSampling bool
+	// StartTODHours sets the local time of day at sim t=0 (09:00
+	// default: nodes powered, service running).
+	StartTODHours float64
+	// BackhaulBitrateBps is each balloon's requested backhaul.
+	BackhaulBitrateBps float64
+	// RedundancyTargetFrac forwards to the solver's secondary
+	// objective.
+	RedundancyTargetFrac float64
+	// WeatherCellsPerHour scales convective activity.
+	WeatherCellsPerHour float64
+	// DisablePower keeps every payload on permanently (ablations and
+	// tests that don't want the diurnal cycle).
+	DisablePower bool
+
+	// --- Ablation knobs (zero values = production behaviour) ---
+
+	// SolverHysteresisBonus overrides the solver's hysteresis when
+	// >= 0 (set to 0 for the no-hysteresis ablation; -1 or unset
+	// keeps the default).
+	SolverHysteresisBonus float64
+	// DropMarginalLinks removes marginal candidates entirely (the
+	// marginal-retention ablation of §3.1/§5).
+	DropMarginalLinks bool
+	// TTESatcomOverrideS overrides the satcom TTE policy when > 0
+	// (the §4.2 TTE-selection ablation; the production value is the
+	// p95 one-way delay, 186 s).
+	TTESatcomOverrideS float64
+	// WeatherSources selects the solver's weather inputs: "" or
+	// "all" (gauges+forecast+climatology), "gauges", "forecast",
+	// "itu" (the §5 weather-fusion ablation).
+	WeatherSources string
+	// AdaptiveLinkPenalty enables the §7 future-work feedback loop:
+	// candidate pairs whose recent establishment attempts failed are
+	// penalized in solving (decaying over ~20 min), so the solver
+	// tries alternates instead of retrying a cursed pair forever.
+	// Off by default: the paper's production system "lacked a
+	// feedback loop and relied on modeled data".
+	AdaptiveLinkPenalty bool
+	// RouteStaggerS spreads the per-node enactment times of a route
+	// *re*program across this window. The paper's actuation layer
+	// "lacked the sequencing of updates to avoid temporary routing
+	// blackholes" — withdrawn links therefore broke routes for the
+	// rollout duration before the replacement path took over, which
+	// is what Fig. 8's withdrawn-caused recoveries measure. 0 makes
+	// reprograms near-atomic (a sequenced-actuation ablation).
+	RouteStaggerS float64
+}
+
+// DefaultConfig is a Kenya-like deployment ready for experiments.
+func DefaultConfig() Config {
+	nairobi := geo.LLADeg(-1.32, 36.83, 1700)
+	kisumu := geo.LLADeg(-0.09, 34.77, 1200)
+	nakuru := geo.LLADeg(-0.28, 36.07, 1850)
+	// Each site has surveyed terrain in its obstruction mask plus an
+	// UNMODELED obstruction (new construction, foliage growth) the
+	// mask has gone stale on — the §5 phenomenology that makes
+	// ground-terminated links brittle.
+	terrain := func(ridgeAzDeg, staleAzDeg float64) []antenna.Occlusion {
+		return []antenna.Occlusion{
+			{AzMin: geo.Deg(ridgeAzDeg), AzMax: geo.Deg(ridgeAzDeg + 35), ElMax: geo.Deg(3), Label: "ridge"},
+			{AzMin: geo.Deg(staleAzDeg), AzMax: geo.Deg(staleAzDeg + 50), ElMax: geo.Deg(6), Label: "new-construction", Unmodeled: true},
+		}
+	}
+	return Config{
+		Seed:      1,
+		Region:    weather.KenyaRegion(),
+		Season:    itu.ShortRains,
+		FleetSize: 20,
+		GroundStations: []GroundStationSpec{
+			{ID: "gs-nairobi", Pos: nairobi, Terrain: terrain(200, 20), ECLatency: 0.02},
+			{ID: "gs-kisumu", Pos: kisumu, Terrain: terrain(90, 290), ECLatency: 0.03},
+			{ID: "gs-nakuru", Pos: nakuru, Terrain: terrain(310, 140), ECLatency: 0.025},
+		},
+		SolveIntervalS:        120,
+		PredictiveLeadS:       180,
+		TelemetrySampleS:      30,
+		AgentConnCheckS:       10,
+		MaxEstablishAttempts:  3,
+		StartTODHours:         9,
+		SolverHysteresisBonus: -1,
+		RouteStaggerS:         60,
+		BackhaulBitrateBps:    50e6,
+		RedundancyTargetFrac:  0.7,
+		WeatherCellsPerHour:   6,
+	}
+}

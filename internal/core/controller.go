@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+
+	"minkowski/internal/cdpi"
+	"minkowski/internal/dataplane"
+	"minkowski/internal/explain"
+	"minkowski/internal/flight"
+	"minkowski/internal/geo"
+	"minkowski/internal/intent"
+	"minkowski/internal/itu"
+	"minkowski/internal/linkeval"
+	"minkowski/internal/manet"
+	"minkowski/internal/nbi"
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+	"minkowski/internal/satcom"
+	"minkowski/internal/sim"
+	"minkowski/internal/solver"
+	"minkowski/internal/telemetry"
+	"minkowski/internal/weather"
+	"minkowski/internal/wind"
+)
+
+// Controller is the running TS-SDN with its simulated world.
+type Controller struct {
+	Cfg Config
+	Eng *sim.Engine
+
+	// Physical truth.
+	Wx     *weather.Field
+	Wind   *wind.Field
+	FMS    *flight.FMS
+	Fleet  *platform.Fleet
+	Fabric *radio.Fabric
+
+	// Control planes.
+	Router   *manet.Fast
+	Net      *manet.FabricNet
+	Sat      *satcom.Gateway
+	InBand   *cdpi.InBand
+	Frontend *cdpi.Frontend
+
+	// TS-SDN brain.
+	Gauges    []*weather.Gauge
+	Forecast  *weather.Forecast
+	WxModel   *weather.Fused
+	Evaluator *linkeval.Evaluator
+	Solver    *solver.Solver
+	Intents   *intent.Store
+	Data      *dataplane.State
+	NBI       *nbi.Service
+
+	// Observation.
+	Reach    *telemetry.Reachability
+	LinkLife *telemetry.LinkLife
+	// Recovery tracks data-plane repairs; RecoveryCtrl tracks
+	// control-plane breakage durations (both feed Fig. 8).
+	Recovery     *telemetry.Recovery
+	RecoveryCtrl *telemetry.Recovery
+	Redund       *telemetry.Redundancy
+	Churn        *telemetry.Churn
+	ModelErr     *telemetry.ModelError
+	Log          *explain.Log
+	Scrubber     *explain.Scrubber
+	SolveRuns    int
+
+	gateways []string
+	todOff   float64
+	arms     map[radio.LinkID]*armState
+	wasOn    map[string]bool
+	// linkFails remembers recent establishment failures per pair for
+	// the adaptive-penalty feedback loop (§7 future work).
+	linkFails                   map[radio.LinkID]*failMemory
+	prevHourGraph, prevMinGraph []*linkeval.Report
+	lastPlan                    *solver.Plan
+}
+
+// New builds and wires a controller; call Run to simulate.
+func New(cfg Config) *Controller {
+	eng := sim.New(cfg.Seed)
+	wcfg := weather.DefaultConfig()
+	wcfg.Region = cfg.Region
+	wcfg.Season = cfg.Season
+	wcfg.Seed = cfg.Seed ^ 0x77
+	if cfg.WeatherCellsPerHour > 0 {
+		wcfg.CellSpawnPerHour = cfg.WeatherCellsPerHour
+	}
+	wx := weather.NewField(wcfg)
+
+	windCfg := wind.DefaultConfig()
+	windCfg.Seed = cfg.Seed ^ 0x1234
+	wd := wind.NewField(windCfg)
+
+	target := cfg.Region.Center(0)
+	fmsCfg := flight.DefaultConfig(target)
+	fmsCfg.FleetSize = cfg.FleetSize
+	fmsCfg.Seed = cfg.Seed ^ 0xBEEF
+	fms := flight.NewFMS(fmsCfg, wd)
+
+	var grounds []*platform.Node
+	var gateways []string
+	for _, spec := range cfg.GroundStations {
+		grounds = append(grounds, platform.NewGroundStation(spec.ID, spec.Pos, spec.Terrain))
+		gateways = append(gateways, spec.ID)
+	}
+	fleet := platform.NewFleet(fms, grounds)
+
+	fabric := radio.NewFabric(eng, wx, radio.DefaultConfig())
+	net := &manet.FabricNet{Fabric: fabric, Fleet: fleet}
+	router := manet.NewFast(eng, net, 2.0)
+	fabric.OnUp = nil // set below after controller exists
+
+	sat := satcom.NewGateway(eng, satcom.DefaultProviders())
+	ib := &cdpi.InBand{Eng: eng, Router: router, Net: net, Gateways: gateways, WiredOneWayS: 0.025}
+	agentCfg := cdpi.DefaultAgentConfig()
+	if cfg.AgentConnCheckS > 0 {
+		agentCfg.ConnCheckIntervalS = cfg.AgentConnCheckS
+		agentCfg.HeartbeatIntervalS = cfg.AgentConnCheckS
+	}
+	feCfg := cdpi.DefaultFrontendConfig()
+	if cfg.TTESatcomOverrideS > 0 {
+		feCfg.TTESatcomS = cfg.TTESatcomOverrideS
+	}
+	fe := cdpi.NewFrontend(eng, sat, ib, feCfg, agentCfg)
+
+	// Weather model: gauges at every GS + 12-hourly forecasts +
+	// climatology backstop, fused freshest-first. The WeatherSources
+	// ablation narrows the input set.
+	var gauges []*weather.Gauge
+	var sources []weather.Source
+	useGauges := cfg.WeatherSources == "" || cfg.WeatherSources == "all" || cfg.WeatherSources == "gauges"
+	useClim := cfg.WeatherSources == "" || cfg.WeatherSources == "all" || cfg.WeatherSources == "itu"
+	for i, spec := range cfg.GroundStations {
+		g := weather.NewGauge(spec.Pos, wx, cfg.Seed^int64(100+i))
+		gauges = append(gauges, g)
+		if useGauges {
+			sources = append(sources, g)
+		}
+	}
+	if useClim {
+		sources = append(sources, &weather.Climatology{Model: itu.DefaultRegionalModel(), Season: cfg.Season})
+	}
+	fused := &weather.Fused{Sources: sources, MaxAge: 1800}
+
+	solverCfg := solver.DefaultConfig()
+	if cfg.RedundancyTargetFrac >= 0 {
+		solverCfg.RedundancyTargetFrac = cfg.RedundancyTargetFrac
+	}
+	if cfg.SolverHysteresisBonus >= 0 {
+		solverCfg.HysteresisBonus = cfg.SolverHysteresisBonus
+	}
+
+	c := &Controller{
+		Cfg: cfg, Eng: eng,
+		Wx: wx, Wind: wd, FMS: fms, Fleet: fleet, Fabric: fabric,
+		Router: router, Net: net, Sat: sat, InBand: ib, Frontend: fe,
+		Gauges: gauges, WxModel: fused,
+		Solver:       solver.New(solverCfg),
+		Intents:      intent.NewStore(),
+		Data:         dataplane.NewState(),
+		NBI:          nbi.NewService(),
+		Reach:        telemetry.NewReachability(86400),
+		LinkLife:     telemetry.NewLinkLife(),
+		Recovery:     telemetry.NewRecovery(),
+		RecoveryCtrl: telemetry.NewRecovery(),
+		Redund:       &telemetry.Redundancy{},
+		Churn:        &telemetry.Churn{},
+		ModelErr:     &telemetry.ModelError{},
+		Log:          &explain.Log{Cap: 200000},
+		Scrubber:     &explain.Scrubber{Cap: 5000},
+		gateways:     gateways,
+		todOff:       cfg.StartTODHours * 3600,
+		arms:         map[radio.LinkID]*armState{},
+		wasOn:        map[string]bool{},
+		linkFails:    map[radio.LinkID]*failMemory{},
+	}
+	evalCfg := linkeval.DefaultConfig()
+	evalCfg.DropMarginal = cfg.DropMarginalLinks
+	c.Evaluator = linkeval.New(evalCfg, fused, c.predictPosition)
+
+	fabric.OnUp = c.onLinkUp
+	fabric.OnDown = c.onLinkDown
+	// Register every initial node's SDN agent now — ground stations
+	// never appear in fleet join events, and the first solve cycle
+	// fires before the first fleet step.
+	for _, n := range fleet.Nodes() {
+		c.registerNode(n)
+	}
+	fleet.DrainEvents() // initial joins are handled
+	c.install()
+	return c
+}
+
+// predictPosition serves the Link Evaluator: current GPS position at
+// lead 0; the FMS's frozen-field trajectory forecast for future
+// leads.
+func (c *Controller) predictPosition(n *platform.Node, lead float64) (p geo.LLA) {
+	if n.Kind == platform.KindGround || lead <= 0 {
+		return n.Position()
+	}
+	pts := c.FMS.PredictTrajectory(n.Balloon, lead, lead)
+	if len(pts) == 0 {
+		return n.Position()
+	}
+	return pts[len(pts)-1].Pos
+}
+
+// install schedules every periodic process.
+func (c *Controller) install() {
+	eng := c.Eng
+	// Physical world: weather and flight at 1-minute ticks.
+	eng.Every(60, func() bool {
+		c.Wx.Step(60)
+		c.stepFleet(60)
+		return true
+	})
+	// Gauges sample each minute; forecasts refresh every 12 h.
+	eng.Every(60, func() bool {
+		for _, g := range c.Gauges {
+			g.Sample()
+		}
+		return true
+	})
+	eng.Every(12*3600, func() bool {
+		c.Forecast = weather.Issue(c.Wx, weather.DefaultForecastConfig(), c.Cfg.Seed^int64(c.Eng.Now()))
+		c.rebuildFusion()
+		c.Log.Append(eng.Now(), explain.EvWeather, "forecast", "new ECMWF-style forecast ingested")
+		return true
+	})
+	// LTE service management + drains.
+	eng.Every(60, func() bool {
+		c.manageService()
+		c.NBI.Tick(eng.Now(), c.Data.TraversedBy)
+		return true
+	})
+	// The solve cycle.
+	eng.Every(c.Cfg.SolveIntervalS, func() bool {
+		c.solveCycle()
+		return true
+	})
+	// Telemetry sampling.
+	eng.Every(c.Cfg.TelemetrySampleS, func() bool {
+		c.sampleTelemetry()
+		return true
+	})
+	// Fine-grained recovery sampling (short breaks must be seen).
+	eng.Every(5, func() bool {
+		c.sampleRecovery()
+		return true
+	})
+	// Churn sampling (optional).
+	if c.Cfg.ChurnSampling {
+		eng.Every(60, func() bool {
+			c.sampleChurn()
+			return true
+		})
+	}
+}
+
+// stepFleet advances flight + power and reconciles membership.
+func (c *Controller) stepFleet(dt float64) {
+	now := c.Eng.Now()
+	c.Fleet.Step(now+c.todOff, dt)
+	if c.Cfg.DisablePower {
+		for _, n := range c.Fleet.Balloons {
+			n.Power.CommsOn = true
+			n.Power.BatteryWh = platform.BatteryCapacityWh
+		}
+	}
+	joined, left := c.Fleet.DrainEvents()
+	for _, n := range joined {
+		c.registerNode(n)
+		c.Log.Append(now, explain.EvNodeJoin, n.ID, "joined the fleet")
+	}
+	for _, n := range left {
+		c.Log.Append(now, explain.EvNodeLeave, n.ID, "left the fleet (recycled)")
+		c.Fabric.FailNode(n.ID, radio.ReasonGeometry)
+		c.Frontend.Unregister(n.ID)
+		c.Data.FlushNode(n.ID)
+		c.NBI.ReleaseBackhaul(n.ID)
+	}
+	// Power transitions: flush hardware state on power-down.
+	for id, n := range c.Fleet.Balloons {
+		on := n.Operational()
+		if c.wasOn[id] && !on {
+			c.Fabric.FailNode(id, radio.ReasonPowerLoss)
+			c.Data.FlushNode(id)
+			c.Log.Append(now, explain.EvNodeLeave, id, "payload powered down")
+		}
+		if !c.wasOn[id] && on {
+			c.Log.Append(now, explain.EvNodeJoin, id, "payload powered up (daily bootstrap)")
+		}
+		c.wasOn[id] = on
+	}
+}
+
+// registerNode attaches a CDPI agent to a node.
+func (c *Controller) registerNode(n *platform.Node) {
+	node := n.ID
+	c.Frontend.Register(node, cdpi.EnactorFunc(func(cmd *cdpi.Command, done func(bool)) {
+		c.enact(node, cmd, done)
+	}))
+	c.wasOn[node] = n.Operational()
+}
+
+// rebuildFusion refreshes the fused source ordering after a new
+// forecast, honoring the WeatherSources ablation.
+func (c *Controller) rebuildFusion() {
+	ws := c.Cfg.WeatherSources
+	var sources []weather.Source
+	if ws == "" || ws == "all" || ws == "gauges" {
+		for _, g := range c.Gauges {
+			sources = append(sources, g)
+		}
+	}
+	if c.Forecast != nil && (ws == "" || ws == "all" || ws == "forecast") {
+		sources = append(sources, c.Forecast)
+	}
+	if ws == "" || ws == "all" || ws == "itu" {
+		sources = append(sources, &weather.Climatology{Model: itu.DefaultRegionalModel(), Season: c.Cfg.Season})
+	}
+	c.WxModel.Sources = sources
+	c.Evaluator.Weather = c.WxModel
+}
+
+// manageService emulates the LTE management stack: balloons in the
+// region with power get backhaul requests; others are released.
+func (c *Controller) manageService() {
+	for _, n := range c.Fleet.Nodes() {
+		if n.Kind != platform.KindBalloon {
+			continue
+		}
+		inRegion := c.Cfg.Region.Contains(n.Position())
+		if inRegion && n.Operational() {
+			c.NBI.RequestBackhaul(n.ID, dataplane.FlowClassifier{
+				SrcPrefix: n.ID + "::/64", DstPrefix: "epc::/64",
+				MinBitrateBps: c.Cfg.BackhaulBitrateBps,
+			}, "rg-"+n.ID)
+		} else {
+			c.NBI.ReleaseBackhaul(n.ID)
+		}
+	}
+}
+
+// solveCycle runs evaluator → solver → reconcile → actuate.
+func (c *Controller) solveCycle() {
+	now := c.Eng.Now()
+	c.SolveRuns++
+	xcvrs := c.Fleet.Transceivers()
+	if len(xcvrs) == 0 {
+		return
+	}
+	graph := c.Evaluator.CandidateGraph(xcvrs, c.Cfg.PredictiveLeadS)
+	existing := map[radio.LinkID]bool{}
+	for _, l := range c.Fabric.UpLinks() {
+		existing[l.ID] = true
+	}
+	in := solver.Input{
+		Candidates: graph,
+		Requests:   c.NBI.SolverRequests(),
+		Existing:   existing,
+		Gateways:   c.gateways,
+		Drained:    c.NBI.SolverExclusions(),
+		Penalties:  c.adaptivePenalties(),
+	}
+	plan := c.Solver.Solve(in)
+	c.lastPlan = plan
+	c.realignRoutes()
+	c.Log.Appendf(now, explain.EvSolve, fmt.Sprintf("cycle-%d", c.SolveRuns),
+		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f",
+		len(graph), len(plan.Links), plan.RedundantCount(), len(plan.Routes), len(plan.Unsatisfied), plan.Utility)
+	acts := c.Intents.Reconcile(plan, now)
+	c.actuate(acts)
+	// Snapshot for the scrubber.
+	c.snapshot(plan)
+}
+
+// snapshot records the current physical+logical state.
+func (c *Controller) snapshot(plan *solver.Plan) {
+	snap := explain.Snapshot{
+		At:        c.Eng.Now(),
+		Intents:   map[string]string{},
+		Routes:    map[string][]string{},
+		Positions: map[string]geo.LLA{},
+		Value:     plan.Utility,
+	}
+	for _, l := range c.Fabric.UpLinks() {
+		snap.Links = append(snap.Links, l.ID.String())
+	}
+	for _, li := range c.Intents.ActiveLinks() {
+		snap.Intents[li.Link.String()] = li.State.String()
+	}
+	for _, ri := range c.Intents.ActiveRoutes() {
+		snap.Routes[ri.ID] = ri.Path
+	}
+	for _, n := range c.Fleet.Nodes() {
+		snap.Positions[n.ID] = n.Position()
+	}
+	c.Scrubber.Record(snap)
+}
+
+// Run simulates until the given time (seconds).
+func (c *Controller) Run(until float64) { c.Eng.Run(until) }
+
+// RunHours simulates for the given number of hours from now.
+func (c *Controller) RunHours(h float64) { c.Eng.Run(c.Eng.Now() + h*3600) }
+
+// LastPlan returns the most recent solver output.
+func (c *Controller) LastPlan() *solver.Plan { return c.lastPlan }
+
+// TOD returns the local time of day in hours at the current instant.
+func (c *Controller) TOD() float64 {
+	tod := c.Eng.Now() + c.todOff
+	for tod >= 86400 {
+		tod -= 86400
+	}
+	return tod / 3600
+}

@@ -1,0 +1,73 @@
+package dataplane
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestGenerationMonotonicityProperty: for any interleaving of install
+// and remove operations across generations, a node's entry never
+// regresses to an older generation, and a removal for generation g
+// never destroys an entry of generation > g. These invariants are
+// what protects reprogrammed routes from stale commands on an
+// out-of-order control plane.
+func TestGenerationMonotonicityProperty(t *testing.T) {
+	type op struct {
+		Install bool
+		Gen     uint8
+	}
+	f := func(ops []op) bool {
+		// Reference model: the live entry's generation, -1 if absent.
+		// Install g lands iff no entry or g ≥ live; Remove g clears
+		// iff an entry exists with live ≤ g.
+		s := NewState()
+		live := -1
+		for _, o := range ops {
+			g := int(o.Gen % 8)
+			if o.Install {
+				s.InstallEntry("n", "r", "next", g)
+				if live == -1 || g >= live {
+					live = g
+				}
+			} else {
+				s.RemoveEntry("n", "r", g)
+				if live != -1 && live <= g {
+					live = -1
+				}
+			}
+			// The implementation must agree with the model exactly.
+			for gen := 0; gen < 8; gen++ {
+				want := gen == live
+				if s.HasEntry("n", "r", gen) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisjointPathsSymmetryProperty: disjointness is symmetric.
+func TestDisjointPathsSymmetryProperty(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "gs1", "gs2"}
+	f := func(ai, bi []uint8) bool {
+		mk := func(idx []uint8) []string {
+			out := make([]string, 0, len(idx))
+			for _, i := range idx {
+				out = append(out, names[int(i)%len(names)])
+			}
+			if len(out) > 5 {
+				out = out[:5]
+			}
+			return out
+		}
+		pa, pb := mk(ai), mk(bi)
+		return DisjointPaths(pa, pb) == DisjointPaths(pb, pa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

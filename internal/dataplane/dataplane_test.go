@@ -1,0 +1,158 @@
+package dataplane
+
+import (
+	"testing"
+)
+
+// meshUp is a LinkChecker over a fixed set of up links.
+type meshUp map[string]bool
+
+func key(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+func (m meshUp) LinkUp(a, b string) bool { return m[key(a, b)] }
+
+func prog(s *State, r *Route) {
+	s.DeclareRoute(r)
+	for i := 0; i < len(r.Path)-1; i++ {
+		s.InstallEntry(r.Path[i], r.ID, r.Path[i+1], r.Generation)
+	}
+}
+
+func TestRouteProgrammingLifecycle(t *testing.T) {
+	s := NewState()
+	r := &Route{ID: "r1", Path: []string{"hbal-003", "hbal-002", "hbal-001", "gs-0"}}
+	s.DeclareRoute(r)
+	if s.FullyProgrammed("r1") {
+		t.Error("unprogrammed route must not be fully programmed")
+	}
+	s.InstallEntry("hbal-003", "r1", "hbal-002", 0)
+	s.InstallEntry("hbal-002", "r1", "hbal-001", 0)
+	if s.FullyProgrammed("r1") {
+		t.Error("partially programmed route must not be fully programmed")
+	}
+	s.InstallEntry("hbal-001", "r1", "gs-0", 0)
+	if !s.FullyProgrammed("r1") {
+		t.Error("all entries installed → fully programmed")
+	}
+}
+
+func TestOperableRequiresLinksAndEntries(t *testing.T) {
+	s := NewState()
+	r := &Route{ID: "r1", Path: []string{"b2", "b1", "gs"}}
+	prog(s, r)
+	links := meshUp{key("b2", "b1"): true, key("b1", "gs"): true}
+	if !s.Operable("r1", links) {
+		t.Fatal("route with all links and entries must be operable")
+	}
+	// Break a link.
+	delete(links, key("b1", "gs"))
+	if s.Operable("r1", links) {
+		t.Error("route with a down link must not be operable")
+	}
+	if got := s.BrokenAt("r1", links); got != 2 {
+		t.Errorf("BrokenAt = %d, want 2", got)
+	}
+	// Restore link but flush a node's tables (power cycle).
+	links[key("b1", "gs")] = true
+	s.FlushNode("b1")
+	if s.Operable("r1", links) {
+		t.Error("flushed node must break the route")
+	}
+}
+
+func TestBrokenAtIntact(t *testing.T) {
+	s := NewState()
+	r := &Route{ID: "r1", Path: []string{"b1", "gs"}}
+	prog(s, r)
+	links := meshUp{key("b1", "gs"): true}
+	if got := s.BrokenAt("r1", links); got != -1 {
+		t.Errorf("intact route BrokenAt = %d, want -1", got)
+	}
+}
+
+func TestDropRoute(t *testing.T) {
+	s := NewState()
+	r := &Route{ID: "r1", Path: []string{"b1", "gs"}}
+	prog(s, r)
+	s.DropRoute("r1")
+	if _, ok := s.Route("r1"); ok {
+		t.Error("dropped route still declared")
+	}
+	if s.HasEntry("b1", "r1", 0) {
+		t.Error("dropped route left entries behind")
+	}
+	// Dropping twice is a no-op.
+	s.DropRoute("r1")
+}
+
+func TestTraversedBy(t *testing.T) {
+	s := NewState()
+	prog(s, &Route{ID: "r1", Path: []string{"b3", "b2", "gs"}})
+	prog(s, &Route{ID: "r2", Path: []string{"b4", "b2", "gs"}})
+	prog(s, &Route{ID: "r3", Path: []string{"b5", "gs"}})
+	got := s.TraversedBy("b2")
+	if len(got) != 2 || got[0] != "r1" || got[1] != "r2" {
+		t.Errorf("TraversedBy(b2) = %v", got)
+	}
+	if n := len(s.TraversedBy("b9")); n != 0 {
+		t.Errorf("unknown node traversed by %d routes", n)
+	}
+}
+
+func TestTunnels(t *testing.T) {
+	s := NewState()
+	s.SetTunnel("gs0-ec0", "gs-0", "ec-0", true)
+	if !s.TunnelUp("gs0-ec0") {
+		t.Error("tunnel should be up")
+	}
+	s.SetTunnel("gs0-ec0", "gs-0", "ec-0", false)
+	if s.TunnelUp("gs0-ec0") {
+		t.Error("tunnel should be down")
+	}
+	if s.TunnelUp("missing") {
+		t.Error("unknown tunnel must be down")
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []string
+		want bool
+	}{
+		{"fully-disjoint", []string{"b1", "b2", "gs1"}, []string{"b1", "b3", "gs2"}, true},
+		{"shared-interior-node", []string{"b1", "b2", "gs1"}, []string{"b4", "b2", "gs2"}, false},
+		{"shared-link", []string{"b1", "b2", "gs1"}, []string{"b1", "b2", "gs1"}, false},
+		{"shared-endpoints-only", []string{"b1", "b2", "gs1"}, []string{"b1", "b3", "gs1"}, true},
+		{"trivial", []string{"b1"}, []string{"b1", "b2"}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := DisjointPaths(c.a, c.b); got != c.want {
+				t.Errorf("DisjointPaths(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRoutesSorted(t *testing.T) {
+	s := NewState()
+	prog(s, &Route{ID: "zz", Path: []string{"a", "b"}})
+	prog(s, &Route{ID: "aa", Path: []string{"a", "b"}})
+	rs := s.Routes()
+	if len(rs) != 2 || rs[0].ID != "aa" {
+		t.Errorf("routes not sorted: %v, %v", rs[0].ID, rs[1].ID)
+	}
+}
+
+func TestOperableUnknownRoute(t *testing.T) {
+	s := NewState()
+	if s.Operable("ghost", meshUp{}) {
+		t.Error("unknown route must not be operable")
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"minkowski/internal/core"
+	"minkowski/internal/explain"
+	"minkowski/internal/flight"
+	"minkowski/internal/geo"
+	"minkowski/internal/linkeval"
+	"minkowski/internal/manet"
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+	"minkowski/internal/sim"
+	"minkowski/internal/solver"
+	"minkowski/internal/stats"
+	"minkowski/internal/telemetry"
+)
+
+// Headline reproduces the paper's §8 claim as an ablation:
+// "incorporating a model of the physical world ... decreased average
+// recovery time for routes recovering within 5 minutes by 37.8%
+// relative to a strictly reactive approach." We compare a predictive
+// controller (solver fed with future-lead candidates, planned
+// withdrawals) against a reactive one (lead 0).
+func Headline(o Options) *Result {
+	run := func(lead float64) (*telemetry.Recovery, float64, float64) {
+		cfg := baseScenario(o)
+		cfg.Seed = o.Seed
+		cfg.DisablePower = true
+		cfg.WeatherCellsPerHour = 10
+		cfg.PredictiveLeadS = lead
+		c := core.New(cfg)
+		c.RunHours(8 * float64(o.scale()))
+		_, _, data := c.Reach.Ratio(telemetry.LayerLink), c.Reach.Ratio(telemetry.LayerControl), c.Reach.Ratio(telemetry.LayerData)
+		withdrawnFrac := 0.0
+		total := c.LinkLife.EndsB2G.Total() + c.LinkLife.EndsB2B.Total()
+		if total > 0 {
+			w := c.LinkLife.EndsB2G.Get("withdrawn") + c.LinkLife.EndsB2B.Get("withdrawn")
+			withdrawnFrac = float64(w) / float64(total)
+		}
+		return c.Recovery, data, withdrawnFrac
+	}
+	predRec, predData, predW := run(180)
+	_, reactData, reactW := run(0)
+	res := &Result{ID: "headline", Title: "Predictive vs reactive recovery (§8)", CSV: map[string][][]string{}}
+	res.Rows = []Row{
+		{"planned-teardown repair mean", "37.8% faster than unplanned", stats.FmtDuration(predRec.Withdrawn.Mean())},
+		{"unplanned repair mean", "-", stats.FmtDuration(predRec.Failed.Mean())},
+		{"improvement (withdrawn vs failed)", "37.8%", pct(predRec.MeanImprovement())},
+		{"data availability (predictive)", "-", f("%.3f", predData)},
+		{"data availability (reactive)", "-", f("%.3f", reactData)},
+		{"planned-end share (predictive)", "52.6%", pct(predW)},
+		{"planned-end share (reactive)", "lower", pct(reactW)},
+	}
+	return res
+}
+
+// AppA reproduces the mesh-redundancy study: 3 transceivers per
+// balloon give up to 50% extra links over the minimum; 4+ show
+// diminishing returns. We sweep transceiver count on a frozen fleet
+// snapshot and report what the solver achieves.
+func AppA(o Options) *Result {
+	res := &Result{ID: "appA", Title: "Mesh redundancy vs transceivers per balloon", CSV: map[string][][]string{}}
+	csv := [][]string{{"xcvrs_per_balloon", "links", "redundant_links", "satisfied", "redundancy_frac"}}
+	nBalloons := 8 + 2*o.scale()
+	prevLinks := 0
+	var rows []Row
+	for k := 1; k <= 5; k++ {
+		links, redundant, satisfied := solveWithXcvrs(o.Seed, nBalloons, k)
+		frac := 0.0
+		lmin, lmax := solver.RedundancyBoundsN(nBalloons, 3, k)
+		if lmax > lmin {
+			frac = float64(links-lmin) / float64(lmax-lmin)
+			if frac < 0 {
+				frac = 0
+			}
+		}
+		gain := ""
+		if prevLinks > 0 {
+			gain = f(" (+%d vs k-1)", links-prevLinks)
+		}
+		rows = append(rows, Row{
+			f("k=%d links/redundant/satisfied", k),
+			map[int]string{3: "3 xcvrs → +50% links", 4: "diminishing returns"}[k],
+			f("%d/%d/%d%s", links, redundant, satisfied, gain),
+		})
+		csv = append(csv, []string{f("%d", k), f("%d", links), f("%d", redundant), f("%d", satisfied), f("%.2f", frac)})
+		prevLinks = links
+	}
+	res.Rows = rows
+	res.CSV["xcvr_sweep"] = csv
+	return res
+}
+
+// solveWithXcvrs solves one frozen snapshot with k transceivers per
+// balloon.
+func solveWithXcvrs(seed int64, nBalloons, k int) (links, redundant, satisfied int) {
+	var nodes []*platform.Node
+	gs1 := platform.NewGroundStation("gs-0", geo.LLADeg(-1.32, 36.83, 1700), nil)
+	gs2 := platform.NewGroundStation("gs-1", geo.LLADeg(-0.09, 34.77, 1200), nil)
+	gs3 := platform.NewGroundStation("gs-2", geo.LLADeg(-0.28, 36.07, 1850), nil)
+	nodes = append(nodes, gs1, gs2, gs3)
+	rng := sim.New(seed).RNG("appA")
+	for i := 0; i < nBalloons; i++ {
+		lat := -3 + rng.Float64()*4
+		lon := 35 + rng.Float64()*4
+		b := &flight.Balloon{ID: f("hbal-%03d", i), Pos: geo.LLADeg(lat, lon, 16000+rng.Float64()*3000)}
+		n := platform.NewBalloonNodeN(b, k)
+		n.Power.CommsOn = true
+		nodes = append(nodes, n)
+	}
+	var xs []*platform.Transceiver
+	var reqs []solver.Request
+	for _, n := range nodes {
+		xs = append(xs, n.Xcvrs...)
+		if n.Kind == platform.KindBalloon {
+			reqs = append(reqs, solver.Request{ID: "backhaul/" + n.ID, Src: n.ID, MinBitrateBps: 50e6})
+		}
+	}
+	ev := linkeval.New(linkeval.DefaultConfig(), clearSource{}, nil)
+	cands := ev.CandidateGraph(xs, 0)
+	plan := solver.New(solver.DefaultConfig()).Solve(solver.Input{
+		Candidates: cands, Requests: reqs,
+		Existing: map[radio.LinkID]bool{},
+		Gateways: []string{"gs-0", "gs-1", "gs-2"},
+	})
+	return len(plan.Links), plan.RedundantCount(), len(plan.Routes)
+}
+
+// clearSource is a no-rain weather source for snapshot solving.
+type clearSource struct{}
+
+func (clearSource) EstimateRain(geo.LLA) (float64, bool) { return 0, true }
+func (clearSource) AgeSeconds() float64                  { return 0 }
+func (clearSource) Name() string                         { return "clear" }
+
+// AppD reproduces the MANET protocol comparison (ns-3 in the paper):
+// AODV and DSDV converge well; AODV has lower overhead because Loon
+// only needs routes to a handful of SDN endpoints.
+func AppD(o Options) *Result {
+	res := &Result{ID: "appD", Title: "MANET comparison: AODV vs DSDV vs OLSR vs BATMAN", CSV: map[string][][]string{}}
+	csv := [][]string{{"protocol", "availability", "bytes", "msgs"}}
+	n := 8 + 2*o.scale()
+	type outcome struct {
+		name  string
+		avail float64
+		bytes int64
+		msgs  int64
+	}
+	var outs []outcome
+	for _, name := range []string{"batman", "aodv", "dsdv", "olsr"} {
+		eng := sim.New(o.Seed)
+		net := manet.NewStaticNetwork()
+		// Redundant chain: gs, b01..bN with i-1 and i-2 links.
+		prev, prev2 := "gs", ""
+		net.AddNode("gs")
+		for i := 1; i <= n; i++ {
+			id := f("b%02d", i)
+			net.Connect(prev, id)
+			if prev2 != "" {
+				net.Connect(prev2, id)
+			}
+			prev2, prev = prev, id
+		}
+		var r manet.Router
+		switch name {
+		case "batman":
+			r = manet.NewBATMAN(eng, net, manet.DefaultBATMANConfig())
+		case "aodv":
+			a := manet.NewAODV(eng, net, manet.DefaultAODVConfig())
+			for i := 1; i <= n; i++ {
+				a.Interest(f("b%02d", i), "gs")
+			}
+			r = a
+		case "dsdv":
+			r = manet.NewDSDV(eng, net, manet.DefaultDSDVConfig())
+		case "olsr":
+			r = manet.NewOLSR(eng, net, manet.DefaultOLSRConfig())
+		}
+		r.Start()
+		eng.Run(30)
+		last := f("b%02d", n)
+		samples, avail := 0, 0
+		for round := 0; round < 3*o.scale(); round++ {
+			if round%2 == 0 {
+				net.Disconnect(last, f("b%02d", n-1))
+			} else {
+				net.Connect(last, f("b%02d", n-1))
+			}
+			for s := 0; s < 20; s++ {
+				eng.Run(eng.Now() + 1)
+				samples++
+				if manet.HasRoute(r, last, "gs") {
+					avail++
+				}
+			}
+		}
+		st := r.Stats()
+		outs = append(outs, outcome{name, float64(avail) / float64(samples), st.BytesSent, st.MessagesSent})
+		csv = append(csv, []string{name, f("%.3f", float64(avail)/float64(samples)), f("%d", st.BytesSent), f("%d", st.MessagesSent)})
+	}
+	for _, oc := range outs {
+		res.Rows = append(res.Rows, Row{
+			oc.name,
+			map[string]string{
+				"aodv": "good convergence, lowest overhead",
+				"dsdv": "good convergence, higher overhead",
+				"olsr": "laggier convergence",
+			}[oc.name],
+			f("avail=%.2f bytes=%d", oc.avail, oc.bytes),
+		})
+	}
+	var aodvBytes, dsdvBytes int64
+	for _, oc := range outs {
+		switch oc.name {
+		case "aodv":
+			aodvBytes = oc.bytes
+		case "dsdv":
+			dsdvBytes = oc.bytes
+		}
+	}
+	res.Rows = append(res.Rows, Row{"AODV overhead < DSDV", "yes", f("%v", aodvBytes < dsdvBytes)})
+	res.CSV["manet_compare"] = csv
+	return res
+}
+
+// Fig13 reproduces the stale-obstruction-mask detection: link
+// telemetry correlated with pointing vectors reveals a sector where
+// the model systematically over-predicts signal (a new building the
+// site survey missed).
+func Fig13(o Options) *Result {
+	rng := sim.New(o.Seed).RNG("fig13")
+	var samples []explain.PointingSample
+	// Simulated telemetry sweep: balloons seen across all azimuths at
+	// low elevation. Truth: an un-modelled obstruction spans 60–85°.
+	nSamples := 2000 * o.scale()
+	for i := 0; i < nSamples; i++ {
+		azDeg := rng.Float64() * 360
+		el := geo.Deg(1 + rng.Float64()*6)
+		errDB := rng.NormFloat64() * 2 // healthy: zero-mean noise
+		if azDeg > 60 && azDeg < 85 && geo.ToDeg(el) < 5 {
+			errDB -= 14 + rng.NormFloat64()*3 // blocked: strong deficit
+		}
+		samples = append(samples, explain.PointingSample{
+			Azimuth: geo.Deg(azDeg), Elevation: el, ErrorDB: errDB,
+		})
+	}
+	sectors := explain.DetectObstructionSkew(samples, 10, -5, 10)
+	res := &Result{ID: "fig13", Title: "Stale obstruction mask detection (Fig. 13)", CSV: map[string][][]string{}}
+	detected := "none"
+	if len(sectors) > 0 {
+		detected = ""
+		for _, s := range sectors {
+			detected += f("[%.0f°–%.0f° mean %.1f dB] ", s.AzMinDeg, s.AzMaxDeg, s.MeanErrorDB)
+		}
+	}
+	inBand := len(sectors) > 0
+	for _, s := range sectors {
+		if s.AzMaxDeg < 55 || s.AzMinDeg > 95 {
+			inBand = false
+		}
+	}
+	res.Rows = []Row{
+		{"sectors flagged", "obstructed sector identified", detected},
+		{"flags within true sector (60–85°)", "yes", f("%v", inBand)},
+		{"telemetry samples", "-", f("%d", len(samples))},
+	}
+	csv := [][]string{{"az_min_deg", "az_max_deg", "mean_error_db", "samples"}}
+	for _, s := range sectors {
+		csv = append(csv, []string{f("%.0f", s.AzMinDeg), f("%.0f", s.AzMaxDeg), f("%.1f", s.MeanErrorDB), f("%d", s.Samples)})
+	}
+	res.CSV["skew_sectors"] = csv
+	return res
+}
+
+// All runs every experiment at the given options, in paper order.
+func All(o Options) []*Result {
+	return []*Result{
+		Fig04(o), Fig06(o), Fig07(o), Fig08(o), Fig09(o),
+		Fig10(o), Fig11(o), Headline(o), AppA(o), AppD(o), Fig13(o),
+	}
+}

@@ -1,0 +1,240 @@
+// Package ipv6 implements the balloon host-stack behaviour of
+// Appendix D: every node owns a global unicast /64; ground stations
+// advertise their own dedicated /64s ("64share") over the MANET with
+// Route Information Options pointing at their preferred EC pod; and
+// balloons run the "one working RA at a time" policy — select the
+// best ground-station gateway by batman-adv transmit quality, form an
+// address from its Prefix Information Option, hold other RAs in
+// reserve, and only renumber (destroying stale sockets, the
+// SOCK_DESTROY analogue) when the selected gateway becomes
+// unreachable.
+//
+// Because the SDN does not program an O(n²) mesh of GS↔EC tunnels,
+// "EC reachability from a balloon was critically tied to source
+// address and next hop GS selection" — using a source address from
+// gateway A while forwarding through gateway B strands the return
+// path. This package exists to keep those two choices consistent.
+package ipv6
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// NodePrefix derives the node's own global /64 from a site index —
+// the "each node ... assigned its own global unicast IPv6 /64"
+// allocation. Deterministic and collision-free for indexes < 65536.
+func NodePrefix(index int) netip.Prefix {
+	addr := netip.AddrFrom16([16]byte{
+		0x20, 0x01, 0x0d, 0xb8, // 2001:db8::/32 documentation space
+		0x10, 0x00, // site block
+		byte(index >> 8), byte(index),
+	})
+	return netip.PrefixFrom(addr, 64)
+}
+
+// AddrFromPrefix forms a host address inside a /64 with the given
+// interface identifier.
+func AddrFromPrefix(p netip.Prefix, iid uint64) netip.Addr {
+	b := p.Addr().As16()
+	for i := 0; i < 8; i++ {
+		b[15-i] = byte(iid >> (8 * i))
+	}
+	return netip.AddrFrom16(b)
+}
+
+// RA is a Router Advertisement as sent by a ground station over its
+// batman-adv interface: a PIO carrying the GS's dedicated /64 and
+// RIOs naming the EC prefixes reachable through it. GS RAs "did not
+// advertise a default router lifetime, since they did not provide
+// IPv6 Internet connectivity".
+type RA struct {
+	// Gateway is the advertising ground station's node ID.
+	Gateway string
+	// PIO is the prefix balloons may form addresses from.
+	PIO netip.Prefix
+	// RIOs are the EC prefixes reachable via this gateway.
+	RIOs []netip.Prefix
+	// IssuedAt is the advertisement time (sim seconds).
+	IssuedAt float64
+	// LifetimeS is how long the RA's information remains valid.
+	LifetimeS float64
+}
+
+// Expired reports whether the RA is stale at time now.
+func (ra RA) Expired(now float64) bool {
+	return now-ra.IssuedAt > ra.LifetimeS
+}
+
+// Socket stands in for a control-plane connection (gRPC in
+// production) bound to a source address.
+type Socket struct {
+	Label string
+	Src   netip.Addr
+	// Destroyed marks the SOCK_DESTROY treatment.
+	Destroyed bool
+}
+
+// HostStack is one balloon's user-space RA processor.
+type HostStack struct {
+	// Node is the owning balloon.
+	Node string
+	// selected is the single RA currently applied.
+	selected *RA
+	// reserve holds the latest RA per gateway, unapplied.
+	reserve map[string]*RA
+	// addr is the configured address under the selected PIO.
+	addr netip.Addr
+	// iid is this host's interface identifier.
+	iid uint64
+	// sockets are live control-plane connections.
+	sockets []*Socket
+	// Renumbers counts gateway switches (telemetry: each one
+	// destroys sockets and forces gRPC reconnects).
+	Renumbers int
+}
+
+// NewHostStack creates the processor with the host's interface ID.
+func NewHostStack(node string, iid uint64) *HostStack {
+	return &HostStack{Node: node, iid: iid, reserve: map[string]*RA{}}
+}
+
+// Receive records an RA. It never switches gateways by itself —
+// "once selected, as long as the gateway continued to be reachable,
+// other RAs were examined and held in reserve", which dampens
+// connectivity flapping.
+func (h *HostStack) Receive(ra RA) {
+	h.reserve[ra.Gateway] = &ra
+	if h.selected != nil && h.selected.Gateway == ra.Gateway {
+		// Refresh the applied RA in place.
+		h.selected = &ra
+	}
+}
+
+// Selected returns the applied RA, if any.
+func (h *HostStack) Selected() (RA, bool) {
+	if h.selected == nil {
+		return RA{}, false
+	}
+	return *h.selected, true
+}
+
+// Addr returns the currently configured source address.
+func (h *HostStack) Addr() (netip.Addr, bool) {
+	if h.selected == nil {
+		return netip.Addr{}, false
+	}
+	return h.addr, true
+}
+
+// Connect opens a control-plane socket bound to the current source
+// address.
+func (h *HostStack) Connect(label string) (*Socket, error) {
+	if h.selected == nil {
+		return nil, fmt.Errorf("ipv6: %s has no provisioned address", h.Node)
+	}
+	s := &Socket{Label: label, Src: h.addr}
+	h.sockets = append(h.sockets, s)
+	return s, nil
+}
+
+// LiveSockets returns non-destroyed sockets.
+func (h *HostStack) LiveSockets() []*Socket {
+	var out []*Socket
+	for _, s := range h.sockets {
+		if !s.Destroyed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Evaluate runs the selection policy at time now. reachable reports
+// whether a gateway is currently reachable over the mesh; tq is the
+// batman-adv transmit-quality metric used to sort gateways. Returns
+// true when the host renumbered.
+func (h *HostStack) Evaluate(now float64, reachable func(gw string) bool, tq func(gw string) float64) bool {
+	// Expire stale reserve entries.
+	for gw, ra := range h.reserve {
+		if ra.Expired(now) {
+			delete(h.reserve, gw)
+		}
+	}
+	// Keep the working RA while its gateway is reachable.
+	if h.selected != nil && !h.selected.Expired(now) && reachable(h.selected.Gateway) {
+		return false
+	}
+	// Pick the best reserve gateway by TQ (deterministic tie-break
+	// by name).
+	gws := make([]string, 0, len(h.reserve))
+	for gw := range h.reserve {
+		gws = append(gws, gw)
+	}
+	sort.Strings(gws)
+	var best string
+	bestTQ := 0.0
+	for _, gw := range gws {
+		if !reachable(gw) {
+			continue
+		}
+		if q := tq(gw); q > bestTQ {
+			best, bestTQ = gw, q
+		}
+	}
+	if best == "" {
+		// Nothing reachable: drop the selection entirely.
+		if h.selected != nil {
+			h.apply(nil)
+			return true
+		}
+		return false
+	}
+	if h.selected != nil && h.selected.Gateway == best {
+		return false
+	}
+	ra := h.reserve[best]
+	h.apply(ra)
+	return true
+}
+
+// apply switches the working RA: renumber and SOCK_DESTROY all
+// sockets using the old source address, "triggering control plane
+// applications to reinitiate gRPC connections".
+func (h *HostStack) apply(ra *RA) {
+	for _, s := range h.sockets {
+		if !s.Destroyed && s.Src == h.addr {
+			s.Destroyed = true
+		}
+	}
+	h.sockets = filterLive(h.sockets)
+	h.selected = ra
+	if ra == nil {
+		h.addr = netip.Addr{}
+		return
+	}
+	h.addr = AddrFromPrefix(ra.PIO, h.iid)
+	h.Renumbers++
+}
+
+func filterLive(in []*Socket) []*Socket {
+	out := in[:0]
+	for _, s := range in {
+		if !s.Destroyed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ReturnPathConsistent verifies the invariant the appendix warns
+// about: traffic sourced from srcAddr and forwarded via nextHopGW has
+// a working return path only if srcAddr is inside the PIO that
+// gateway advertised.
+func ReturnPathConsistent(srcAddr netip.Addr, nextHopGW string, ras map[string]RA) bool {
+	ra, ok := ras[nextHopGW]
+	if !ok {
+		return false
+	}
+	return ra.PIO.Contains(srcAddr)
+}

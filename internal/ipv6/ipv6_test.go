@@ -1,0 +1,201 @@
+package ipv6
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func gsRA(gw string, idx int, at float64) RA {
+	return RA{
+		Gateway: gw, PIO: NodePrefix(1000 + idx),
+		RIOs:     []netip.Prefix{NodePrefix(2000 + idx)},
+		IssuedAt: at, LifetimeS: 60,
+	}
+}
+
+func TestNodePrefixUnique(t *testing.T) {
+	seen := map[netip.Prefix]bool{}
+	for i := 0; i < 1000; i++ {
+		p := NodePrefix(i)
+		if p.Bits() != 64 {
+			t.Fatalf("prefix length = %d", p.Bits())
+		}
+		if seen[p] {
+			t.Fatalf("duplicate prefix for index %d", i)
+		}
+		seen[p] = true
+	}
+}
+
+func TestAddrFromPrefix(t *testing.T) {
+	p := NodePrefix(7)
+	a := AddrFromPrefix(p, 0xdeadbeef)
+	if !p.Contains(a) {
+		t.Error("formed address must be inside the prefix")
+	}
+	b := AddrFromPrefix(p, 0xdeadbef0)
+	if a == b {
+		t.Error("different IIDs must give different addresses")
+	}
+	f := func(iid uint64) bool {
+		return p.Contains(AddrFromPrefix(p, iid))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectBestGatewayByTQ(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0))
+	h.Receive(gsRA("gs-b", 1, 0))
+	all := func(string) bool { return true }
+	tq := func(gw string) float64 {
+		if gw == "gs-b" {
+			return 0.9
+		}
+		return 0.5
+	}
+	if !h.Evaluate(1, all, tq) {
+		t.Fatal("first evaluation must select a gateway")
+	}
+	sel, ok := h.Selected()
+	if !ok || sel.Gateway != "gs-b" {
+		t.Errorf("selected %v, want gs-b", sel.Gateway)
+	}
+	addr, _ := h.Addr()
+	if !sel.PIO.Contains(addr) {
+		t.Error("address must come from the selected PIO")
+	}
+}
+
+func TestOneWorkingRADampsFlapping(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0))
+	all := func(string) bool { return true }
+	tqA := func(gw string) float64 { return 0.5 }
+	h.Evaluate(1, all, tqA)
+	sel, _ := h.Selected()
+	if sel.Gateway != "gs-a" {
+		t.Fatal("precondition")
+	}
+	// A better gateway appears — but gs-a is still reachable, so the
+	// host must NOT switch ("held in reserve but not used").
+	h.Receive(gsRA("gs-b", 1, 2))
+	tqB := func(gw string) float64 {
+		if gw == "gs-b" {
+			return 0.95
+		}
+		return 0.5
+	}
+	if h.Evaluate(3, all, tqB) {
+		t.Error("host must not renumber while the working gateway is reachable")
+	}
+	sel, _ = h.Selected()
+	if sel.Gateway != "gs-a" {
+		t.Error("selection must stick")
+	}
+}
+
+func TestRenumberDestroysSockets(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0))
+	h.Receive(gsRA("gs-b", 1, 0))
+	all := func(string) bool { return true }
+	tq := func(gw string) float64 {
+		if gw == "gs-a" {
+			return 0.9
+		}
+		return 0.5
+	}
+	h.Evaluate(1, all, tq)
+	sock, err := h.Connect("grpc-sdn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldAddr, _ := h.Addr()
+	// gs-a dies; the host must fail over to gs-b, renumber, and
+	// destroy the old socket.
+	reach := func(gw string) bool { return gw == "gs-b" }
+	h.Receive(gsRA("gs-a", 0, 2)) // fresh RA doesn't save an unreachable gw
+	h.Receive(gsRA("gs-b", 1, 2))
+	if !h.Evaluate(3, reach, tq) {
+		t.Fatal("host must renumber when the working gateway dies")
+	}
+	if !sock.Destroyed {
+		t.Error("old socket must be SOCK_DESTROYed")
+	}
+	if len(h.LiveSockets()) != 0 {
+		t.Error("no live sockets should remain")
+	}
+	newAddr, _ := h.Addr()
+	if newAddr == oldAddr {
+		t.Error("renumbering must change the source address")
+	}
+	if h.Renumbers != 2 { // initial select + failover
+		t.Errorf("renumbers = %d, want 2", h.Renumbers)
+	}
+}
+
+func TestNoGatewayDropsSelection(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0))
+	all := func(string) bool { return true }
+	one := func(string) float64 { return 0.5 }
+	h.Evaluate(1, all, one)
+	none := func(string) bool { return false }
+	if !h.Evaluate(2, none, one) {
+		t.Error("losing all gateways must clear the selection")
+	}
+	if _, ok := h.Selected(); ok {
+		t.Error("selection should be empty")
+	}
+	if _, err := h.Connect("x"); err == nil {
+		t.Error("connect without provisioning must fail")
+	}
+}
+
+func TestExpiredRAsPurged(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0)) // lifetime 60
+	all := func(string) bool { return true }
+	one := func(string) float64 { return 0.5 }
+	h.Evaluate(100, all, one) // RA expired before first selection
+	if _, ok := h.Selected(); ok {
+		t.Error("expired RA must not be selected")
+	}
+}
+
+func TestReceiveRefreshesSelected(t *testing.T) {
+	h := NewHostStack("hbal-001", 0x99)
+	h.Receive(gsRA("gs-a", 0, 0))
+	all := func(string) bool { return true }
+	one := func(string) float64 { return 0.5 }
+	h.Evaluate(1, all, one)
+	// Refresh at t=50; the selection must survive past the original
+	// expiry (t=60) without renumbering.
+	h.Receive(gsRA("gs-a", 0, 50))
+	if h.Evaluate(90, all, one) {
+		t.Error("refreshed RA must not cause a renumber")
+	}
+	if _, ok := h.Selected(); !ok {
+		t.Error("selection must survive refresh")
+	}
+}
+
+func TestReturnPathConsistent(t *testing.T) {
+	raA := gsRA("gs-a", 0, 0)
+	raB := gsRA("gs-b", 1, 0)
+	ras := map[string]RA{"gs-a": raA, "gs-b": raB}
+	srcFromA := AddrFromPrefix(raA.PIO, 0x1)
+	if !ReturnPathConsistent(srcFromA, "gs-a", ras) {
+		t.Error("source from gs-a's PIO via gs-a must be consistent")
+	}
+	if ReturnPathConsistent(srcFromA, "gs-b", ras) {
+		t.Error("source from gs-a's PIO via gs-b strands the return path")
+	}
+	if ReturnPathConsistent(srcFromA, "gs-zz", ras) {
+		t.Error("unknown gateway must be inconsistent")
+	}
+}

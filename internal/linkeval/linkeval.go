@@ -1,0 +1,331 @@
+// Package linkeval implements the TS-SDN's Link Evaluator (§3.1):
+// the component that "continuously analyzed candidate links between
+// all pairs of transceivers at multiple time steps in the future, up
+// to a configurable time horizon."
+//
+// For each pair of antennas it prunes on field-of-view and
+// line-of-sight, computes the attenuation along the transmission
+// vector from the TS-SDN's (estimated!) weather model, evaluates the
+// link budget at each transmit power, and annotates links just below
+// the acceptable margin as "marginal". The output — the candidate
+// graph — is the solver's main input and the subject of Fig. 4's
+// churn analysis.
+package linkeval
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"minkowski/internal/geo"
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+	"minkowski/internal/rf"
+	"minkowski/internal/weather"
+)
+
+// PositionPredictor returns a node's estimated position at a lead
+// time (seconds into the future). The core controller wires this to
+// the FMS's trajectory predictions; lead 0 must return the current
+// (GPS-reported) position.
+type PositionPredictor func(n *platform.Node, lead float64) geo.LLA
+
+// CurrentPositions is the trivial predictor: nodes frozen at their
+// current position (adequate for short leads; the paper notes
+// trajectory error as a model-error source).
+func CurrentPositions(n *platform.Node, lead float64) geo.LLA { return n.Position() }
+
+// Report is one Transceiver Link Report: the forecasted performance
+// of one candidate link at one future time step (the artifact
+// appendix's link_reports table).
+type Report struct {
+	// ID is the canonical link identity.
+	ID radio.LinkID
+	// XA, XB are the evaluated transceivers.
+	XA, XB *platform.Transceiver
+	// Lead is seconds into the future this report describes.
+	Lead float64
+	// Budget is the modelled link budget at the best transmit power.
+	Budget rf.Budget
+	// Class annotates margin acceptability (the "marginal" flag).
+	Class rf.MarginClass
+	// DistM is the predicted slant range.
+	DistM float64
+	// AtmosDB is the modelled path attenuation from weather.
+	AtmosDB float64
+	// B2G marks balloon-to-ground candidates.
+	B2G bool
+}
+
+// Config tunes evaluation.
+type Config struct {
+	// AcceptableMarginDB is the configured margin for full
+	// acceptance; links within rf.MarginalWindowDB below it are
+	// "marginal".
+	AcceptableMarginDB float64
+	// MaxRangeM hard-prunes pairs beyond plausible budget closure to
+	// save computation.
+	MaxRangeM float64
+	// Channel is the representative channel used for evaluation (the
+	// solver assigns concrete channels later).
+	Channel rf.Channel
+	// Parallelism caps evaluation workers (0 = GOMAXPROCS). The
+	// paper: "the computation was highly parallelizable and
+	// distributed across many tasks in a data center."
+	Parallelism int
+	// DropMarginal discards marginal candidates instead of retaining
+	// them penalized (the §3.1 marginal-retention ablation).
+	DropMarginal bool
+	// PessimismDB is the deliberate planning margin added to modelled
+	// attenuation: Loon "intentionally selected a pessimistic level
+	// from the ITU-R regional seasonal average model to increase
+	// confidence in forming the selected links", visible as the
+	// +4.3 dB right-shift of Fig. 10.
+	PessimismDB float64
+}
+
+// DefaultConfig returns the evaluation policy used in production
+// scenarios.
+func DefaultConfig() Config {
+	return Config{
+		AcceptableMarginDB: 3,
+		MaxRangeM:          900e3,
+		Channel:            rf.EBandChannels()[0],
+		Parallelism:        0,
+		PessimismDB:        4.3,
+	}
+}
+
+// Evaluator computes candidate graphs.
+type Evaluator struct {
+	cfg Config
+	// Weather is the TS-SDN's *estimated* moisture model (fused
+	// gauges/forecast/climatology) — NOT the truth.
+	Weather weather.Source
+	// Volume optionally serves precomputed 4-D interpolated
+	// attenuation; when set it replaces per-path Weather integration.
+	Volume *weather.Volume
+	// Predict supplies positions at future leads.
+	Predict PositionPredictor
+}
+
+// New creates an evaluator.
+func New(cfg Config, wx weather.Source, predict PositionPredictor) *Evaluator {
+	if predict == nil {
+		predict = CurrentPositions
+	}
+	return &Evaluator{cfg: cfg, Weather: wx, Predict: predict}
+}
+
+// pathAttenuation returns the modelled moisture+gas attenuation for a
+// candidate path.
+func (e *Evaluator) pathAttenuation(a, b geo.LLA, lead float64) float64 {
+	if e.Volume != nil {
+		return e.Volume.PathAttenuation(e.cfg.Channel.CenterGHz, a, b, lead)
+	}
+	return weather.EstimatePathAttenuation(e.Weather, e.cfg.Channel.CenterGHz, a, b)
+}
+
+// EvaluatePair produces a report for one transceiver pair at a lead,
+// or nil if the pair is geometrically infeasible or out of range.
+func (e *Evaluator) EvaluatePair(xa, xb *platform.Transceiver, lead float64) *Report {
+	if xa.Node == xb.Node {
+		return nil
+	}
+	posA := e.Predict(xa.Node, lead)
+	posB := e.Predict(xb.Node, lead)
+	dist := geo.SlantRange(posA, posB)
+	if dist > e.cfg.MaxRangeM {
+		return nil
+	}
+	pa := geo.PointingTo(posA, posB)
+	pb := geo.PointingTo(posB, posA)
+	// The evaluator plans with the TS-SDN's obstruction *model*, not
+	// the physical truth — stale masks produce surprise failures.
+	if ok, _ := xa.Mount.CanPointModel(pa); !ok {
+		return nil
+	}
+	if ok, _ := xb.Mount.CanPointModel(pb); !ok {
+		return nil
+	}
+	if !geo.LineOfSight(posA, posB, 0) {
+		return nil
+	}
+	atmos := e.pathAttenuation(posA, posB, lead) + e.cfg.PessimismDB
+	budget := rf.BestBudget(xa.Radio, e.cfg.Channel,
+		xa.Mount.Pattern.PeakDBi, xb.Mount.Pattern.PeakDBi,
+		dist, atmos, 1.0)
+	class := rf.Classify(budget, e.cfg.AcceptableMarginDB)
+	if class == rf.Unusable {
+		return nil
+	}
+	if class == rf.Marginal && e.cfg.DropMarginal {
+		return nil
+	}
+	return &Report{
+		ID: radio.MakeLinkID(xa.ID, xb.ID), XA: xa, XB: xb,
+		Lead: lead, Budget: budget, Class: class,
+		DistM: dist, AtmosDB: atmos,
+		B2G: xa.Node.Kind == platform.KindGround || xb.Node.Kind == platform.KindGround,
+	}
+}
+
+// Reject explains why a pair is not a candidate (the §6 "why not"
+// input). It mirrors EvaluatePair but returns a human-readable reason
+// when the pair is rejected, or ok=true with the report.
+func (e *Evaluator) Reject(xa, xb *platform.Transceiver, lead float64) (reason string, rep *Report) {
+	if xa.Node == xb.Node {
+		return "same platform", nil
+	}
+	posA := e.Predict(xa.Node, lead)
+	posB := e.Predict(xb.Node, lead)
+	dist := geo.SlantRange(posA, posB)
+	if dist > e.cfg.MaxRangeM {
+		return "beyond maximum range", nil
+	}
+	pa := geo.PointingTo(posA, posB)
+	pb := geo.PointingTo(posB, posA)
+	if ok, why := xa.Mount.CanPointModel(pa); !ok {
+		return xa.ID + " cannot point: blocked by " + why, nil
+	}
+	if ok, why := xb.Mount.CanPointModel(pb); !ok {
+		return xb.ID + " cannot point: blocked by " + why, nil
+	}
+	if !geo.LineOfSight(posA, posB, 0) {
+		return "no line of sight (Earth obstruction)", nil
+	}
+	rep = e.EvaluatePair(xa, xb, lead)
+	if rep == nil {
+		return "link budget does not close (insufficient margin)", nil
+	}
+	return "", rep
+}
+
+// CandidateGraph evaluates all cross-platform transceiver pairs at a
+// lead time and returns the feasible candidates sorted by ID. The
+// work fans out across Parallelism goroutines.
+func (e *Evaluator) CandidateGraph(xcvrs []*platform.Transceiver, lead float64) []*Report {
+	type pair struct{ a, b int }
+	var pairs []pair
+	for i := 0; i < len(xcvrs); i++ {
+		for j := i + 1; j < len(xcvrs); j++ {
+			if xcvrs[i].Node != xcvrs[j].Node {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	workers := e.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	results := make([]*Report, len(pairs))
+	if workers <= 1 {
+		for k, p := range pairs {
+			results[k] = e.EvaluatePair(xcvrs[p.a], xcvrs[p.b], lead)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(pairs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for k := lo; k < hi; k++ {
+					p := pairs[k]
+					results[k] = e.EvaluatePair(xcvrs[p.a], xcvrs[p.b], lead)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	out := results[:0]
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.A != out[j].ID.A {
+			return out[i].ID.A < out[j].ID.A
+		}
+		return out[i].ID.B < out[j].ID.B
+	})
+	return out
+}
+
+// Horizon evaluates the candidate graph at each lead in leads,
+// returning one graph per time step (the "multiple time steps in the
+// future, up to a configurable time horizon").
+func (e *Evaluator) Horizon(xcvrs []*platform.Transceiver, leads []float64) [][]*Report {
+	out := make([][]*Report, len(leads))
+	for i, lead := range leads {
+		out[i] = e.CandidateGraph(xcvrs, lead)
+	}
+	return out
+}
+
+// GraphDelta summarizes the difference between two candidate graphs
+// (Fig. 4's hour-to-hour and minute-to-minute churn).
+type GraphDelta struct {
+	Added, Removed, Common int
+}
+
+// Changed reports whether anything differs.
+func (d GraphDelta) Changed() bool { return d.Added+d.Removed > 0 }
+
+// FracChanged is (added+removed) / union — the paper's per-hour delta
+// percentage.
+func (d GraphDelta) FracChanged() float64 {
+	union := d.Added + d.Removed + d.Common
+	if union == 0 {
+		return 0
+	}
+	return float64(d.Added+d.Removed) / float64(union)
+}
+
+// Diff computes the delta from graph a to graph b by link identity.
+func Diff(a, b []*Report) GraphDelta {
+	inA := make(map[radio.LinkID]bool, len(a))
+	for _, r := range a {
+		inA[r.ID] = true
+	}
+	var d GraphDelta
+	seen := make(map[radio.LinkID]bool, len(b))
+	for _, r := range b {
+		seen[r.ID] = true
+		if inA[r.ID] {
+			d.Common++
+		} else {
+			d.Added++
+		}
+	}
+	for id := range inA {
+		if !seen[id] {
+			d.Removed++
+		}
+	}
+	return d
+}
+
+// CountByType splits a graph into B2B and B2G candidate counts.
+func CountByType(g []*Report) (b2b, b2g int) {
+	for _, r := range g {
+		if r.B2G {
+			b2g++
+		} else {
+			b2b++
+		}
+	}
+	return b2b, b2g
+}

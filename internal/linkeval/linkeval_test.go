@@ -1,0 +1,251 @@
+package linkeval
+
+import (
+	"math"
+	"testing"
+
+	"minkowski/internal/flight"
+	"minkowski/internal/geo"
+	"minkowski/internal/itu"
+	"minkowski/internal/platform"
+	"minkowski/internal/weather"
+)
+
+// clearSky is a Source reporting no rain anywhere.
+type clearSky struct{}
+
+func (clearSky) EstimateRain(geo.LLA) (float64, bool) { return 0, true }
+func (clearSky) AgeSeconds() float64                  { return 0 }
+func (clearSky) Name() string                         { return "clear" }
+
+func mkBalloon(id string, latDeg, lonDeg, alt float64) *platform.Node {
+	b := &flight.Balloon{ID: id, Pos: geo.LLADeg(latDeg, lonDeg, alt)}
+	n := platform.NewBalloonNode(b)
+	n.Power.CommsOn = true
+	return n
+}
+
+func testFleetXcvrs() []*platform.Transceiver {
+	n1 := mkBalloon("hbal-001", -1.0, 36.5, 18000)
+	n2 := mkBalloon("hbal-002", -1.0, 38.0, 18000) // ~167 km from n1
+	n3 := mkBalloon("hbal-003", -1.0, 40.9, 18000) // far from n1 (~490 km), 320 from n2
+	gs := platform.NewGroundStation("gs-0", geo.LLADeg(-1.3, 36.8, 1600), nil)
+	var xs []*platform.Transceiver
+	for _, n := range []*platform.Node{gs, n1, n2, n3} {
+		xs = append(xs, n.Xcvrs...)
+	}
+	return xs
+}
+
+func TestCandidateGraphBasic(t *testing.T) {
+	e := New(DefaultConfig(), clearSky{}, nil)
+	g := e.CandidateGraph(testFleetXcvrs(), 0)
+	if len(g) == 0 {
+		t.Fatal("no candidates found")
+	}
+	b2b, b2g := CountByType(g)
+	if b2b == 0 || b2g == 0 {
+		t.Errorf("want both B2B (%d) and B2G (%d) candidates", b2b, b2g)
+	}
+	// No candidate may pair transceivers on the same platform.
+	for _, r := range g {
+		if r.XA.Node == r.XB.Node {
+			t.Errorf("same-platform candidate %v", r.ID)
+		}
+		if !r.Budget.Closes() {
+			t.Errorf("candidate %v does not close", r.ID)
+		}
+	}
+	// Sorted by ID.
+	for i := 1; i < len(g); i++ {
+		if g[i-1].ID.A > g[i].ID.A {
+			t.Error("graph not sorted")
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cfgSerial := DefaultConfig()
+	cfgSerial.Parallelism = 1
+	cfgPar := DefaultConfig()
+	cfgPar.Parallelism = 8
+	xs := testFleetXcvrs()
+	gs := New(cfgSerial, clearSky{}, nil).CandidateGraph(xs, 0)
+	gp := New(cfgPar, clearSky{}, nil).CandidateGraph(xs, 0)
+	if len(gs) != len(gp) {
+		t.Fatalf("serial %d vs parallel %d candidates", len(gs), len(gp))
+	}
+	for i := range gs {
+		if gs[i].ID != gp[i].ID || gs[i].Budget != gp[i].Budget {
+			t.Fatal("parallel evaluation must be deterministic")
+		}
+	}
+}
+
+func TestOutOfRangePruned(t *testing.T) {
+	n1 := mkBalloon("a", -1, 36, 18000)
+	n2 := mkBalloon("b", -1, 45, 18000) // ~1000 km away
+	var xs []*platform.Transceiver
+	xs = append(xs, n1.Xcvrs...)
+	xs = append(xs, n2.Xcvrs...)
+	e := New(DefaultConfig(), clearSky{}, nil)
+	if g := e.CandidateGraph(xs, 0); len(g) != 0 {
+		t.Errorf("1000 km pairs should be pruned, got %d", len(g))
+	}
+}
+
+func TestRainMakesB2GMarginalOrGone(t *testing.T) {
+	// Same geometry, rainy vs clear model: the B2G candidates must
+	// degrade (fewer, or marginal class) under modelled rain.
+	xs := testFleetXcvrs()
+	clear := New(DefaultConfig(), clearSky{}, nil).CandidateGraph(xs, 0)
+	rainy := New(DefaultConfig(), &weather.Climatology{
+		Model: itu.DefaultRegionalModel(), Season: itu.LongRains,
+	}, nil).CandidateGraph(xs, 0)
+	clearB2G, rainyB2G := 0, 0
+	clearAccept, rainyAccept := 0, 0
+	for _, r := range clear {
+		if r.B2G {
+			clearB2G++
+			if r.Class == 2 { // rf.Acceptable
+				clearAccept++
+			}
+		}
+	}
+	for _, r := range rainy {
+		if r.B2G {
+			rainyB2G++
+			if r.Class == 2 {
+				rainyAccept++
+			}
+		}
+	}
+	if rainyB2G > clearB2G {
+		t.Errorf("rain should not add B2G candidates (%d vs %d)", rainyB2G, clearB2G)
+	}
+	if clearB2G > 0 && rainyAccept >= clearAccept && rainyB2G == clearB2G {
+		t.Errorf("modelled rain should degrade B2G margins (accept %d→%d)", clearAccept, rainyAccept)
+	}
+}
+
+func TestMarginalAnnotation(t *testing.T) {
+	// A long B2B pair should close with low margin → marginal class.
+	// The evaluator plans with a deliberate 4.3 dB pessimism margin,
+	// so its planning range is shorter than the physical ~700 km: a
+	// ~600 km pair sits in the marginal band.
+	n1 := mkBalloon("a", -1, 36, 18000)
+	n2 := mkBalloon("b", -1, 41.4, 18000) // ~600 km
+	var xs []*platform.Transceiver
+	xs = append(xs, n1.Xcvrs...)
+	xs = append(xs, n2.Xcvrs...)
+	e := New(DefaultConfig(), clearSky{}, nil)
+	g := e.CandidateGraph(xs, 0)
+	if len(g) == 0 {
+		t.Fatal("600 km B2B should be in planning range")
+	}
+	foundMarginal := false
+	for _, r := range g {
+		if r.Class == 1 { // rf.Marginal
+			foundMarginal = true
+		}
+	}
+	if !foundMarginal {
+		t.Error("long-range candidates should be marginal, not fully acceptable")
+	}
+}
+
+func TestPredictorUsedForFutureLeads(t *testing.T) {
+	n1 := mkBalloon("a", -1, 36.5, 18000)
+	n2 := mkBalloon("b", -1, 38.0, 18000)
+	var xs []*platform.Transceiver
+	xs = append(xs, n1.Xcvrs...)
+	xs = append(xs, n2.Xcvrs...)
+	// Predictor: node b drifts 1 km east per 100 s of lead.
+	pred := func(n *platform.Node, lead float64) geo.LLA {
+		p := n.Position()
+		if n.ID == "b" {
+			p = geo.Offset(p, geo.Deg(90), lead*10)
+			p.Alt = 18000
+		}
+		return p
+	}
+	e := New(DefaultConfig(), clearSky{}, pred)
+	now := e.CandidateGraph(xs, 0)
+	future := e.CandidateGraph(xs, 3600) // b has moved 36 km east
+	if len(now) == 0 || len(future) == 0 {
+		t.Fatal("both graphs should have candidates")
+	}
+	if now[0].DistM >= future[0].DistM {
+		t.Errorf("future distance (%v) should exceed current (%v) as b drifts away",
+			future[0].DistM, now[0].DistM)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := New(DefaultConfig(), clearSky{}, nil)
+	graphs := e.Horizon(testFleetXcvrs(), []float64{0, 300, 600})
+	if len(graphs) != 3 {
+		t.Fatalf("want 3 time steps, got %d", len(graphs))
+	}
+	// Static predictor: all steps identical.
+	if len(graphs[0]) != len(graphs[2]) {
+		t.Error("static positions must give identical graphs at all leads")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	e := New(DefaultConfig(), clearSky{}, nil)
+	xs := testFleetXcvrs()
+	g1 := e.CandidateGraph(xs, 0)
+	d := Diff(g1, g1)
+	if d.Changed() || d.FracChanged() != 0 {
+		t.Error("identical graphs must show no delta")
+	}
+	if d.Common != len(g1) {
+		t.Errorf("common = %d, want %d", d.Common, len(g1))
+	}
+	// Remove one element.
+	d2 := Diff(g1, g1[1:])
+	if d2.Removed != 1 || d2.Added != 0 {
+		t.Errorf("delta = %+v, want 1 removed", d2)
+	}
+	if math.Abs(d2.FracChanged()-1.0/float64(len(g1))) > 1e-9 {
+		t.Errorf("frac changed = %v", d2.FracChanged())
+	}
+	// Empty graphs.
+	if Diff(nil, nil).FracChanged() != 0 {
+		t.Error("empty diff must be 0")
+	}
+}
+
+func TestVolumeBackedEvaluation(t *testing.T) {
+	src := &weather.Climatology{Model: itu.DefaultRegionalModel(), Season: itu.ShortRains}
+	vol := weather.BuildVolume(weather.DefaultVolumeConfig(),
+		weather.MoistureFuncFromSource(src, 72))
+	e := New(DefaultConfig(), src, nil)
+	direct := e.CandidateGraph(testFleetXcvrs(), 0)
+	e.Volume = vol
+	cached := e.CandidateGraph(testFleetXcvrs(), 0)
+	// The cached path should produce a similar candidate set (within
+	// a couple of links of the direct evaluation).
+	if len(cached) < len(direct)-3 || len(cached) > len(direct)+3 {
+		t.Errorf("volume-backed graph size %d vs direct %d", len(cached), len(direct))
+	}
+}
+
+func BenchmarkCandidateGraph30Balloons(b *testing.B) {
+	var xs []*platform.Transceiver
+	for i := 0; i < 30; i++ {
+		lon := 35.0 + float64(i%6)*0.9
+		lat := -3.0 + float64(i/6)*0.9
+		n := mkBalloon(string(rune('a'+i/26))+string(rune('a'+i%26)), lat, lon, 18000)
+		xs = append(xs, n.Xcvrs...)
+	}
+	gs := platform.NewGroundStation("gs-0", geo.LLADeg(-1.3, 36.8, 1600), nil)
+	xs = append(xs, gs.Xcvrs...)
+	e := New(DefaultConfig(), clearSky{}, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.CandidateGraph(xs, 0)
+	}
+}

@@ -1,0 +1,37 @@
+package manet
+
+import (
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+)
+
+// FabricNet adapts the radio fabric + platform fleet to the Network
+// interface: the MANET runs over installed links between operational
+// nodes.
+type FabricNet struct {
+	Fabric *radio.Fabric
+	Fleet  *platform.Fleet
+}
+
+// Nodes implements Network with the operational node set.
+func (fn *FabricNet) Nodes() []string {
+	ops := fn.Fleet.OperationalNodes()
+	out := make([]string, 0, len(ops))
+	for _, n := range ops {
+		out = append(out, n.ID)
+	}
+	return out // already deterministic order from Fleet.Nodes
+}
+
+// Neighbors implements Network from installed links.
+func (fn *FabricNet) Neighbors(id string) []string {
+	return fn.Fabric.Neighbors(id)
+}
+
+// Latency implements Network: propagation plus a processing floor.
+func (fn *FabricNet) Latency(a, b string) float64 {
+	if l, ok := fn.Fabric.LinkBetween(a, b); ok {
+		return radio.PropagationDelay(l) + 0.002
+	}
+	return 0.003
+}

@@ -1,0 +1,223 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"minkowski/internal/antenna"
+	"minkowski/internal/flight"
+	"minkowski/internal/geo"
+	"minkowski/internal/rf"
+)
+
+// Kind distinguishes node types. The paper's future work calls for
+// differentiating airborne/ground/maritime nodes; Loon had two.
+type Kind int
+
+const (
+	// KindBalloon is a stratospheric HAPS node.
+	KindBalloon Kind = iota
+	// KindGround is a ground-station gateway node.
+	KindGround
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindGround {
+		return "ground"
+	}
+	return "balloon"
+}
+
+// Transceiver is one pointable radio on a node: an antenna mount plus
+// an RF chain. Transceiver IDs are stable, globally unique strings
+// ("hbal-001/xcvr-2", "gs-nairobi/xcvr-0").
+type Transceiver struct {
+	ID    string
+	Node  *Node
+	Mount *antenna.Mount
+	Radio rf.Radio
+	// Busy marks the transceiver as tasked with a link (maintained by
+	// the radio fabric).
+	Busy bool
+}
+
+// String implements fmt.Stringer.
+func (x *Transceiver) String() string { return x.ID }
+
+// Node is a network platform: a balloon or a ground station.
+type Node struct {
+	ID   string
+	Kind Kind
+	// Balloon backs a KindBalloon node's position and motion.
+	Balloon *flight.Balloon
+	// FixedPos backs a KindGround node's position.
+	FixedPos geo.LLA
+	// Xcvrs are the node's transceivers (3 for balloons, 2 for
+	// ground stations).
+	Xcvrs []*Transceiver
+	// Power is the balloon energy system; nil for ground stations
+	// (wired power).
+	Power *Power
+}
+
+// Position returns the node's current position.
+func (n *Node) Position() geo.LLA {
+	if n.Kind == KindBalloon {
+		return n.Balloon.Pos
+	}
+	return n.FixedPos
+}
+
+// Operational reports whether the node's communications payload is
+// powered. Ground stations are always operational.
+func (n *Node) Operational() bool {
+	if n.Power == nil {
+		return true
+	}
+	return n.Power.CommsOn
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.ID }
+
+// NewBalloonNode wraps a flight vehicle in a network node with the
+// standard three-corner transceiver installation.
+func NewBalloonNode(b *flight.Balloon) *Node { return NewBalloonNodeN(b, 3) }
+
+// NewBalloonNodeN builds a balloon node with n transceivers (the
+// Appendix A transceiver-count study).
+func NewBalloonNodeN(b *flight.Balloon, nXcvrs int) *Node {
+	n := &Node{ID: b.ID, Kind: KindBalloon, Balloon: b, Power: NewPower()}
+	for i, m := range antenna.BalloonMountsN(nXcvrs) {
+		n.Xcvrs = append(n.Xcvrs, &Transceiver{
+			ID:    fmt.Sprintf("%s/xcvr-%d", b.ID, i),
+			Node:  n,
+			Mount: m,
+			Radio: rf.EBandRadio(),
+		})
+	}
+	return n
+}
+
+// NewGroundStation creates a gateway node at a site with the standard
+// two-transceiver radome installation and the site's terrain
+// occlusions.
+func NewGroundStation(id string, site geo.LLA, terrain []antenna.Occlusion) *Node {
+	n := &Node{ID: id, Kind: KindGround, FixedPos: site}
+	for i, m := range antenna.GroundMounts(terrain) {
+		n.Xcvrs = append(n.Xcvrs, &Transceiver{
+			ID:    fmt.Sprintf("%s/xcvr-%d", id, i),
+			Node:  n,
+			Mount: m,
+			Radio: rf.EBandRadio(),
+		})
+	}
+	return n
+}
+
+// Fleet is the set of all platforms: the balloon fleet (backed by the
+// FMS) plus ground stations. It keeps node wrappers in sync with the
+// FMS's recycling (a recycled balloon is a node leaving the network
+// and a new one joining).
+type Fleet struct {
+	FMS      *flight.FMS
+	Balloons map[string]*Node // by node ID
+	Grounds  []*Node
+
+	// Joined and Left record fleet membership changes since the last
+	// call to DrainEvents (consumed by the SDN's entity layer).
+	joined, left []*Node
+
+	byVehicle map[*flight.Balloon]*Node
+}
+
+// NewFleet wraps an FMS fleet and ground stations.
+func NewFleet(fms *flight.FMS, grounds []*Node) *Fleet {
+	f := &Fleet{
+		FMS:       fms,
+		Balloons:  make(map[string]*Node),
+		Grounds:   grounds,
+		byVehicle: make(map[*flight.Balloon]*Node),
+	}
+	for _, b := range fms.Fleet {
+		n := NewBalloonNode(b)
+		f.Balloons[n.ID] = n
+		f.byVehicle[b] = n
+		f.joined = append(f.joined, n)
+	}
+	return f
+}
+
+// Step advances flight and power by dt at sim time t, then
+// reconciles fleet membership with the FMS.
+func (f *Fleet) Step(t, dt float64) {
+	f.FMS.Step(dt)
+	// Reconcile: any vehicle in the FMS fleet without a node is a
+	// join; any node whose vehicle is gone is a leave.
+	current := make(map[*flight.Balloon]bool, len(f.FMS.Fleet))
+	for _, b := range f.FMS.Fleet {
+		current[b] = true
+		if _, ok := f.byVehicle[b]; !ok {
+			n := NewBalloonNode(b)
+			f.Balloons[n.ID] = n
+			f.byVehicle[b] = n
+			f.joined = append(f.joined, n)
+		}
+	}
+	for veh, node := range f.byVehicle {
+		if !current[veh] {
+			delete(f.byVehicle, veh)
+			delete(f.Balloons, node.ID)
+			f.left = append(f.left, node)
+		}
+	}
+	// Power.
+	for _, n := range f.Balloons {
+		n.Power.Step(t, dt)
+	}
+}
+
+// DrainEvents returns and clears the joined/left node lists.
+func (f *Fleet) DrainEvents() (joined, left []*Node) {
+	joined, left = f.joined, f.left
+	f.joined, f.left = nil, nil
+	return joined, left
+}
+
+// Nodes returns all nodes, ground stations first, then balloons in
+// deterministic (ID-sorted) order.
+func (f *Fleet) Nodes() []*Node {
+	out := make([]*Node, 0, len(f.Grounds)+len(f.Balloons))
+	out = append(out, f.Grounds...)
+	ids := make([]string, 0, len(f.Balloons))
+	for id := range f.Balloons {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, f.Balloons[id])
+	}
+	return out
+}
+
+// OperationalNodes returns the nodes whose payloads are powered.
+func (f *Fleet) OperationalNodes() []*Node {
+	var out []*Node
+	for _, n := range f.Nodes() {
+		if n.Operational() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Transceivers returns every transceiver on operational nodes, in
+// deterministic order.
+func (f *Fleet) Transceivers() []*Transceiver {
+	var out []*Transceiver
+	for _, n := range f.OperationalNodes() {
+		out = append(out, n.Xcvrs...)
+	}
+	return out
+}

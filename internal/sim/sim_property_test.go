@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestEventOrderProperty: for any set of scheduling times, events
+// fire in non-decreasing time order with FIFO tie-breaking.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		e := New(1)
+		times := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			times = append(times, math.Abs(math.Mod(x, 1e6)))
+		}
+		var fired []float64
+		for _, at := range times {
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(2e6)
+		if len(fired) != len(times) {
+			return false
+		}
+		want := append([]float64(nil), times...)
+		sort.Float64s(want)
+		for i := range fired {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockMonotoneProperty: the clock never goes backwards, no
+// matter how events schedule more events.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(deltas []int8) bool {
+		e := New(2)
+		last := -1.0
+		ok := true
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+			if depth <= 0 {
+				return
+			}
+			for _, d := range deltas {
+				d := float64(int(d)%17) - 4 // some negative: clamped to now
+				e.After(d, func() { spawn(depth - 1) })
+			}
+		}
+		e.At(0, func() { spawn(2) })
+		e.Run(1e9)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

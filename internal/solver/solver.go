@@ -1,0 +1,551 @@
+// Package solver implements the TS-SDN topology solver of §3.1 and
+// Appendix B: given the candidate graph from the Link Evaluator, the
+// set of connectivity requests, and the currently installed links, it
+// greedily selects the set of links (transceiver pairs + channels) to
+// enact, maximizing the utility of satisfiable connectivity requests
+// subject to the logical constraints:
+//
+//   - each transceiver pairs with at most one other transceiver,
+//   - paired transceivers use non-interfering channels (no channel
+//     reuse at a platform),
+//   - hysteresis biases toward keeping established links ("we biased
+//     toward the selection of high utility links and dampened the
+//     rate of change by biasing toward topologies that kept
+//     established links"),
+//   - marginal links are penalized but usable when nothing better
+//     exists,
+//   - as a secondary objective, otherwise-idle transceivers are
+//     tasked with redundant links to speed failover (§3.2).
+//
+// The algorithm is the Appendix B iterative greedy: estimate the
+// utility of all viable links by routing each request over the viable
+// graph, repeatedly commit the highest-utility link, and mark
+// incompatible links inviable until no viable link carries positive
+// utility.
+package solver
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"minkowski/internal/linkeval"
+	"minkowski/internal/radio"
+	"minkowski/internal/rf"
+)
+
+// Request is one connectivity request c_{x→y}: the LTE stack asking
+// for backhaul from a balloon to the ground segment.
+type Request struct {
+	// ID names the request ("backhaul/hbal-001").
+	ID string
+	// Src is the requesting node.
+	Src string
+	// Dst is the target node, or empty for "any gateway".
+	Dst string
+	// MinBitrateBps is b_min.
+	MinBitrateBps float64
+}
+
+// Input is everything one solve cycle consumes.
+type Input struct {
+	// Candidates is the Link Evaluator's current candidate graph.
+	Candidates []*linkeval.Report
+	// Requests are the open connectivity requests.
+	Requests []Request
+	// Existing marks currently installed links (hysteresis input:
+	// "the chosen topology of the previous time slice was also input,
+	// and used to prioritize candidate topologies that minimized
+	// disruption").
+	Existing map[radio.LinkID]bool
+	// Gateways are ground-station node IDs (targets for Dst == "").
+	Gateways []string
+	// Drained nodes are excluded from carrying or terminating new
+	// links (Appendix C's administrative drains).
+	Drained map[string]bool
+	// Penalties adds per-candidate path cost from the adaptive
+	// feedback loop (§7 future work: "conditioning link selection on
+	// physical models augmented with enactment success rate ... would
+	// improve performance"). Pairs that recently failed to establish
+	// are deprioritized so the solver tries alternates instead of
+	// hammering a cursed pair.
+	Penalties map[radio.LinkID]float64
+}
+
+// Chosen is one link in the output plan.
+type Chosen struct {
+	Report *linkeval.Report
+	// Channel is the non-interfering channel assignment.
+	Channel rf.Channel
+	// Redundant marks links added by the secondary objective rather
+	// than primary routing.
+	Redundant bool
+	// KeptFromPrevious marks hysteresis retentions.
+	KeptFromPrevious bool
+}
+
+// Plan is a solve cycle's output.
+type Plan struct {
+	// Links to enact (or keep), sorted by link ID.
+	Links []Chosen
+	// Routes maps request ID → node path for satisfied requests.
+	Routes map[string][]string
+	// Unsatisfied lists requests with no feasible path.
+	Unsatisfied []Request
+	// Utility is the total satisfied bitrate (the objective value).
+	Utility float64
+}
+
+// ChosenIDs returns the set of planned link IDs.
+func (p *Plan) ChosenIDs() map[radio.LinkID]bool {
+	out := make(map[radio.LinkID]bool, len(p.Links))
+	for _, c := range p.Links {
+		out[c.Report.ID] = true
+	}
+	return out
+}
+
+// RedundantCount returns how many planned links are redundancy adds.
+func (p *Plan) RedundantCount() int {
+	n := 0
+	for _, c := range p.Links {
+		if c.Redundant {
+			n++
+		}
+	}
+	return n
+}
+
+// Config tunes the solver.
+type Config struct {
+	// HysteresisBonus multiplies the utility of existing links
+	// (0 = no hysteresis; 0.5 = 50% bonus for keeping a link).
+	HysteresisBonus float64
+	// MarginalPenalty is extra path cost for marginal links.
+	MarginalPenalty float64
+	// NewLinkCost is the path cost of a not-yet-chosen candidate;
+	// ExistingLinkCost applies to installed links (cheaper —
+	// hysteresis); ChosenLinkCost to links already committed this
+	// cycle.
+	NewLinkCost, ExistingLinkCost, ChosenLinkCost float64
+	// SlowBitratePenalty is extra cost when a link can't carry a
+	// request's full bitrate.
+	SlowBitratePenalty float64
+	// RedundancyTargetFrac is the fraction of possible redundant
+	// links (Appendix A) the secondary objective aims to task (the
+	// paper intended ~70% at median).
+	RedundancyTargetFrac float64
+	// MaxPathLen bounds route length in hops.
+	MaxPathLen int
+}
+
+// DefaultConfig returns the production policy.
+func DefaultConfig() Config {
+	return Config{
+		HysteresisBonus:      1.5,
+		MarginalPenalty:      3.0,
+		NewLinkCost:          2.2,
+		ExistingLinkCost:     1.0,
+		ChosenLinkCost:       0.8,
+		SlowBitratePenalty:   5.0,
+		RedundancyTargetFrac: 0.7,
+		MaxPathLen:           12,
+	}
+}
+
+// Solver runs solve cycles.
+type Solver struct {
+	cfg Config
+}
+
+// New creates a solver.
+func New(cfg Config) *Solver { return &Solver{cfg: cfg} }
+
+// edge is the internal mutable view of a candidate.
+type edge struct {
+	rep    *linkeval.Report
+	a, b   string
+	viable bool
+	chosen bool
+	exist  bool
+	chanID int // assigned channel when chosen
+}
+
+// ctx is per-solve mutable state.
+type ctx struct {
+	cfg      Config
+	in       Input
+	edges    []*edge
+	adj      map[string][]int // node -> candidate edge indexes
+	chanUsed map[string]map[int]bool
+	channels []rf.Channel
+	gwSet    map[string]bool
+}
+
+// Solve runs one cycle.
+func (s *Solver) Solve(in Input) *Plan {
+	c := &ctx{
+		cfg: s.cfg, in: in,
+		adj:      map[string][]int{},
+		chanUsed: map[string]map[int]bool{},
+		channels: rf.EBandChannels(),
+		gwSet:    map[string]bool{},
+	}
+	for _, g := range in.Gateways {
+		c.gwSet[g] = true
+	}
+	for _, rep := range in.Candidates {
+		a, b := rep.XA.Node.ID, rep.XB.Node.ID
+		if in.Drained[a] || in.Drained[b] {
+			continue
+		}
+		c.edges = append(c.edges, &edge{rep: rep, a: a, b: b, viable: true, exist: in.Existing[rep.ID]})
+	}
+	for i, e := range c.edges {
+		c.adj[e.a] = append(c.adj[e.a], i)
+		c.adj[e.b] = append(c.adj[e.b], i)
+	}
+	plan := &Plan{Routes: map[string][]string{}}
+
+	// Current path per request over viable ∪ chosen edges.
+	paths := make(map[string][]int)
+	for _, r := range in.Requests {
+		paths[r.ID], _ = c.shortestPath(r, false)
+	}
+	// Greedy loop.
+	for {
+		util := make([]float64, len(c.edges))
+		for _, r := range in.Requests {
+			for _, ei := range paths[r.ID] {
+				if !c.edges[ei].chosen {
+					util[ei] += math.Max(r.MinBitrateBps, 1)
+				}
+			}
+		}
+		best, bestU := -1, 0.0
+		for i, e := range c.edges {
+			if !e.viable || e.chosen || util[i] <= 0 {
+				continue
+			}
+			u := util[i]
+			if e.exist {
+				u *= 1 + c.cfg.HysteresisBonus
+			}
+			if u > bestU {
+				best, bestU = i, u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if !c.choose(plan, best, false) {
+			c.edges[best].viable = false
+		}
+		// Re-route requests whose path lost an edge.
+		for _, r := range in.Requests {
+			broken := false
+			for _, ei := range paths[r.ID] {
+				e := c.edges[ei]
+				if !e.viable && !e.chosen {
+					broken = true
+					break
+				}
+			}
+			if broken || paths[r.ID] == nil {
+				paths[r.ID], _ = c.shortestPath(r, false)
+			}
+		}
+	}
+	// Final routing strictly over the chosen topology.
+	for _, r := range in.Requests {
+		edgePath, nodes := c.shortestPath(r, true)
+		if edgePath == nil {
+			plan.Unsatisfied = append(plan.Unsatisfied, r)
+			continue
+		}
+		plan.Routes[r.ID] = nodes
+		plan.Utility += r.MinBitrateBps
+	}
+	c.addRedundancy(plan)
+	sort.Slice(plan.Links, func(i, j int) bool {
+		a, b := plan.Links[i].Report.ID, plan.Links[j].Report.ID
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return plan
+}
+
+// choose commits an edge: channel assignment + conflict elimination.
+func (c *ctx) choose(plan *Plan, idx int, redundant bool) bool {
+	e := c.edges[idx]
+	ch, ok := c.pickChannel(e)
+	if !ok {
+		return false
+	}
+	e.chosen = true
+	e.chanID = ch.ID
+	c.markChannel(e.a, ch.ID)
+	c.markChannel(e.b, ch.ID)
+	plan.Links = append(plan.Links, Chosen{
+		Report: e.rep, Channel: ch,
+		Redundant:        redundant,
+		KeptFromPrevious: e.exist,
+	})
+	// One pairing per transceiver.
+	for _, lst := range [][]int{c.adj[e.a], c.adj[e.b]} {
+		for _, oi := range lst {
+			o := c.edges[oi]
+			if o.chosen || !o.viable {
+				continue
+			}
+			if o.rep.XA == e.rep.XA || o.rep.XA == e.rep.XB ||
+				o.rep.XB == e.rep.XA || o.rep.XB == e.rep.XB {
+				o.viable = false
+			}
+		}
+	}
+	return true
+}
+
+// pickChannel returns the lowest channel unused at both endpoint
+// platforms.
+func (c *ctx) pickChannel(e *edge) (rf.Channel, bool) {
+	for _, ch := range c.channels {
+		if !c.chanUsed[e.a][ch.ID] && !c.chanUsed[e.b][ch.ID] {
+			return ch, true
+		}
+	}
+	return rf.Channel{}, false
+}
+
+func (c *ctx) markChannel(node string, chID int) {
+	m := c.chanUsed[node]
+	if m == nil {
+		m = map[int]bool{}
+		c.chanUsed[node] = m
+	}
+	m[chID] = true
+}
+
+// edgeCost returns the routing cost of an edge for utility
+// estimation.
+func (c *ctx) edgeCost(e *edge, r Request) float64 {
+	var cost float64
+	switch {
+	case e.chosen:
+		cost = c.cfg.ChosenLinkCost
+	case e.exist:
+		cost = c.cfg.ExistingLinkCost
+	default:
+		cost = c.cfg.NewLinkCost
+	}
+	if e.rep.Class == rf.Marginal {
+		cost += c.cfg.MarginalPenalty
+	}
+	if e.rep.Budget.BitrateBps < r.MinBitrateBps {
+		cost += c.cfg.SlowBitratePenalty
+	}
+	if !e.chosen && !e.exist {
+		cost += c.in.Penalties[e.rep.ID]
+	}
+	return cost
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node string
+	dist float64
+	hops int
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// shortestPath routes a request over viable (∪ chosen) edges, or
+// chosen-only when chosenOnly. Returns the edge-index path and node
+// path, or nil when unreachable.
+func (c *ctx) shortestPath(r Request, chosenOnly bool) ([]int, []string) {
+	isDst := func(n string) bool {
+		if r.Dst != "" {
+			return n == r.Dst
+		}
+		return c.gwSet[n]
+	}
+	if isDst(r.Src) {
+		return []int{}, []string{r.Src}
+	}
+	dist := map[string]float64{r.Src: 0}
+	hops := map[string]int{r.Src: 0}
+	prevEdge := map[string]int{}
+	prevNode := map[string]string{}
+	done := map[string]bool{}
+	frontier := &pq{{node: r.Src}}
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(pqItem)
+		if done[cur.node] {
+			continue
+		}
+		done[cur.node] = true
+		if isDst(cur.node) {
+			// Reconstruct.
+			var epath []int
+			var npath []string
+			n := cur.node
+			for n != r.Src {
+				epath = append(epath, prevEdge[n])
+				npath = append(npath, n)
+				n = prevNode[n]
+			}
+			npath = append(npath, r.Src)
+			// Reverse.
+			for i, j := 0, len(epath)-1; i < j; i, j = i+1, j-1 {
+				epath[i], epath[j] = epath[j], epath[i]
+			}
+			for i, j := 0, len(npath)-1; i < j; i, j = i+1, j-1 {
+				npath[i], npath[j] = npath[j], npath[i]
+			}
+			return epath, npath
+		}
+		if cur.hops >= c.cfg.MaxPathLen {
+			continue
+		}
+		for _, ei := range c.adj[cur.node] {
+			e := c.edges[ei]
+			if chosenOnly {
+				if !e.chosen {
+					continue
+				}
+			} else if !e.viable && !e.chosen {
+				continue
+			}
+			next := e.a
+			if next == cur.node {
+				next = e.b
+			}
+			if done[next] {
+				continue
+			}
+			nd := cur.dist + c.edgeCost(e, r)
+			if old, ok := dist[next]; !ok || nd < old {
+				dist[next] = nd
+				hops[next] = cur.hops + 1
+				prevEdge[next] = ei
+				prevNode[next] = cur.node
+				heap.Push(frontier, pqItem{node: next, dist: nd, hops: cur.hops + 1})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// addRedundancy implements the secondary objective: task idle
+// transceivers with extra links until the Appendix A redundancy
+// target is reached. Candidates that connect the least-connected
+// nodes with the best margins are preferred.
+func (c *ctx) addRedundancy(plan *Plan) {
+	// Degrees over chosen links.
+	degree := map[string]int{}
+	balloons := map[string]bool{}
+	grounds := map[string]bool{}
+	for _, e := range c.edges {
+		if c.gwSet[e.a] {
+			grounds[e.a] = true
+		} else {
+			balloons[e.a] = true
+		}
+		if c.gwSet[e.b] {
+			grounds[e.b] = true
+		} else {
+			balloons[e.b] = true
+		}
+		if e.chosen {
+			degree[e.a]++
+			degree[e.b]++
+		}
+	}
+	base := len(plan.Links)
+	lmin, lmax := RedundancyBounds(len(balloons), len(grounds))
+	target := int(c.cfg.RedundancyTargetFrac * float64(lmax-lmin))
+	for added := 0; added < target; added++ {
+		best, bestScore := -1, math.Inf(-1)
+		for i, e := range c.edges {
+			if !e.viable || e.chosen {
+				continue
+			}
+			// Prefer links touching poorly connected nodes; margin
+			// breaks ties; marginal class penalized; and — crucially
+			// for topology stability — already-installed links get a
+			// strong retention bonus (redundant links churned badly
+			// before this hysteresis existed).
+			score := -float64(degree[e.a]+degree[e.b]) + e.rep.Budget.MarginDB/100
+			score -= c.in.Penalties[e.rep.ID]
+			if e.exist {
+				score += 3 * (1 + c.cfg.HysteresisBonus)
+			}
+			if e.rep.Class == rf.Marginal {
+				score -= 10
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if !c.choose(plan, best, true) {
+			c.edges[best].viable = false
+			added--
+			continue
+		}
+		e := c.edges[best]
+		degree[e.a]++
+		degree[e.b]++
+	}
+	_ = base
+}
+
+// RedundancyBounds returns Appendix A's L_min and L_max for a
+// topology of B balloons (3 transceivers each) and G ground stations
+// (2 transceivers each): L_min = B (each balloon needs a route) and
+// L_max = floor((2G + 3B) / 2).
+func RedundancyBounds(b, g int) (lmin, lmax int) {
+	return RedundancyBoundsN(b, g, 3)
+}
+
+// RedundancyBoundsN generalizes Appendix A to k transceivers per
+// balloon (the §3.2 transceiver-count study): L_min = B and
+// L_max = floor((2G + kB) / 2).
+func RedundancyBoundsN(b, g, xcvrsPerBalloon int) (lmin, lmax int) {
+	return b, (2*g + xcvrsPerBalloon*b) / 2
+}
+
+// RedundancyFraction is Appendix A's utilization metric:
+// (L − L_min) / (L_max − L_min), clamped to [0, 1]; NaN when the
+// formula degenerates.
+func RedundancyFraction(links, balloons, grounds int) float64 {
+	lmin, lmax := RedundancyBounds(balloons, grounds)
+	if lmax <= lmin {
+		return math.NaN()
+	}
+	f := float64(links-lmin) / float64(lmax-lmin)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := s.Quantile(0.9); got != 90 {
+		t.Errorf("p90 = %v, want 90", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Error("empty sample must report NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, q1, q2 float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+			s.Add(x)
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return s.Quantile(q1) <= s.Quantile(q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndStddev(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Sample stddev of that classic set is ~2.138.
+	if got := s.Stddev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %v, want ~2.138", got)
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3, 4, 5})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.2}, {3, 0.6}, {5, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := s.FracBelow(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("FracBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].P <= cdf[i-1].P || cdf[i].X < cdf[i-1].X {
+			t.Error("CDF must be monotone in both coordinates")
+		}
+	}
+	if cdf[0].P != 0 || cdf[len(cdf)-1].P != 1 {
+		t.Error("CDF must span [0,1]")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{-5, 0.5, 1.5, 1.6, 9.5, 20})
+	centers, counts := s.Histogram(0, 10, 10)
+	if len(centers) != 10 || len(counts) != 10 {
+		t.Fatal("bad bin count")
+	}
+	if counts[0] != 2 { // -5 clamps in, 0.5 lands in bin 0
+		t.Errorf("bin 0 = %d, want 2", counts[0])
+	}
+	if counts[1] != 2 { // 1.5, 1.6
+		t.Errorf("bin 1 = %d, want 2", counts[1])
+	}
+	if counts[9] != 2 { // 9.5 in, 20 clamps in
+		t.Errorf("bin 9 = %d, want 2", counts[9])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != s.N() {
+		t.Error("histogram must conserve observations")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{23, "23s"},
+		{87, "1m27s"},
+		{890, "14m50s"},
+		{math.NaN(), "n/a"},
+	}
+	for _, c := range cases {
+		if got := FmtDuration(c.s); got != c.want {
+			t.Errorf("FmtDuration(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc("withdrawn")
+	c.Inc("withdrawn")
+	c.Inc("rf-fade")
+	if c.Get("withdrawn") != 2 || c.Total() != 3 {
+		t.Error("counts wrong")
+	}
+	if math.Abs(c.Frac("withdrawn")-2.0/3) > 1e-9 {
+		t.Error("frac wrong")
+	}
+	labels := c.Labels()
+	if len(labels) != 2 || labels[0] != "rf-fade" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 1.0)  // value 1 from t=0
+	tw.Observe(10, 0.0) // value 0 from t=10
+	tw.Observe(20, 0.0)
+	// 10 s at 1.0 + 10 s at 0.0 = mean 0.5.
+	if got := tw.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("time-weighted mean = %v, want 0.5", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var tw TimeWeighted
+	if !math.IsNaN(tw.Mean()) {
+		t.Error("no elapsed time must be NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Sample
+	if s.Summary() != "n=0" {
+		t.Error("empty summary")
+	}
+	s.AddAll([]float64{1, 2, 3})
+	if got := s.Summary(); got == "" || got == "n=0" {
+		t.Errorf("summary = %q", got)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	var s Sample
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i % 977))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Quantile(0.99)
+	}
+}
