@@ -133,3 +133,11 @@ func BenchmarkAblationWeather(b *testing.B) {
 func BenchmarkAblationAdaptive(b *testing.B) {
 	runExperiment(b, experiments.AblationAdaptive)
 }
+
+// BenchmarkChaosAvail replays the standard fault script (controller
+// crash, satcom outage, stale telemetry, solver brown-out, gateway
+// loss) and reports per-fault availability and restart-safety
+// counters.
+func BenchmarkChaosAvail(b *testing.B) {
+	runExperiment(b, experiments.ChaosAvail)
+}

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (4,6,7,8,9,10,11,13,headline,appA,appD,ablations,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (4,6,7,8,9,10,11,13,headline,appA,appD,ablations,chaosavail,all)")
 	scale := flag.Int("scale", 1, "fidelity scale: 1 quick, 3 paper-like fleet/duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
@@ -57,6 +57,8 @@ func main() {
 		results = append(results, experiments.AppD(o))
 	case "ablations":
 		results = experiments.Ablations(o)
+	case "chaosavail":
+		results = append(results, experiments.ChaosAvail(o))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)

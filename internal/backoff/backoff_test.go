@@ -1,0 +1,60 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZeroValueRetriesImmediatelyForever(t *testing.T) {
+	var p Policy
+	if d := p.Delay(1, nil); d != 0 {
+		t.Errorf("zero policy delay = %v, want 0", d)
+	}
+	if p.Exhausted(1000) {
+		t.Error("zero policy must never exhaust")
+	}
+}
+
+func TestExponentialGrowthAndCap(t *testing.T) {
+	p := Policy{BaseS: 2, CapS: 120, Mult: 2}
+	want := []float64{2, 4, 8, 16, 32, 64, 120, 120}
+	for i, w := range want {
+		if d := p.Delay(i+1, nil); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, d, w)
+		}
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	p := Policy{BaseS: 10, CapS: 100, Mult: 2, JitterFrac: 0.2}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 6; attempt++ {
+		nominal := Policy{BaseS: 10, CapS: 100, Mult: 2}.Delay(attempt, nil)
+		d1 := p.Delay(attempt, r1)
+		d2 := p.Delay(attempt, r2)
+		if d1 != d2 {
+			t.Errorf("same seed diverged: %v vs %v", d1, d2)
+		}
+		if d1 < nominal*0.8 || d1 > nominal*1.2 {
+			t.Errorf("jittered delay %v outside ±20%% of %v", d1, nominal)
+		}
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 4}
+	if p.Exhausted(3) {
+		t.Error("3 attempts of 4 must not exhaust")
+	}
+	if !p.Exhausted(4) {
+		t.Error("4 attempts of 4 must exhaust")
+	}
+}
+
+func TestDefaultIsSane(t *testing.T) {
+	p := Default()
+	if p.BaseS <= 0 || p.CapS < p.BaseS || p.MaxAttempts < 1 {
+		t.Errorf("default policy malformed: %+v", p)
+	}
+}

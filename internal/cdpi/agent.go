@@ -32,6 +32,9 @@ type Agent struct {
 
 	// connected tracks the agent's own view of in-band connectivity.
 	connected bool
+	// stopped ends the maintenance loops (node left, or agent
+	// rebooted and replaced by a fresh instance).
+	stopped bool
 	// seen deduplicates retried commands (ID → true).
 	seen map[uint64]bool
 	// Enacted counts executed commands.
@@ -61,13 +64,19 @@ func newAgent(eng *sim.Engine, fe *Frontend, node string, enactor Enactor, cfg A
 	}
 	// Connectivity maintenance loop.
 	eng.Every(cfg.ConnCheckIntervalS, func() bool {
+		if a.stopped {
+			return false
+		}
 		a.checkConnectivity()
 		return true
 	})
 	eng.Every(cfg.HeartbeatIntervalS, func() bool {
+		if a.stopped {
+			return false
+		}
 		if a.connected {
 			a.frontend.ib.SendUp(a.Node, 48, func(ok bool) {
-				if ok {
+				if ok && !a.stopped {
 					a.frontend.heartbeat(a.Node)
 				}
 			})
@@ -76,6 +85,10 @@ func newAgent(eng *sim.Engine, fe *Frontend, node string, enactor Enactor, cfg A
 	})
 	return a
 }
+
+// stop ends the maintenance loops; the agent object stays valid for
+// inspecting counters but sends nothing further.
+func (a *Agent) stop() { a.stopped = true }
 
 // checkConnectivity updates the agent's in-band state and fires the
 // connect event on an off→on transition ("upon successfully
@@ -97,6 +110,9 @@ func (a *Agent) checkConnectivity() {
 
 // receive handles a command arriving over some channel.
 func (a *Agent) receive(cmd *Command, via Channel) {
+	if a.stopped {
+		return // a rebooted agent's predecessor enacts nothing
+	}
 	if a.seen[cmd.ID] {
 		// Duplicate of a retried command already handled.
 		return
@@ -115,6 +131,9 @@ func (a *Agent) receive(cmd *Command, via Channel) {
 		enactAt = cmd.TTE
 	}
 	a.eng.At(enactAt, func() {
+		if a.stopped {
+			return // rebooted while holding the command to its TTE
+		}
 		a.Enacted++
 		a.enactor.Enact(cmd, func(ok bool) {
 			a.respond(cmd, ok)

@@ -140,17 +140,54 @@ type InBand struct {
 	WiredOneWayS float64
 	// Bytes counts in-band control traffic.
 	Bytes int64
+	// partitioned nodes are unreachable over the mesh (chaos: a MANET
+	// partition or a gateway site loss) even though the underlying
+	// radio links may still exist.
+	partitioned map[string]bool
+}
+
+// SetPartitioned isolates a node from (or rejoins it to) the in-band
+// mesh. A partitioned gateway stops serving as an EC entry point; a
+// partitioned balloon is unreachable and cannot relay.
+func (ib *InBand) SetPartitioned(node string, isolated bool) {
+	if ib.partitioned == nil {
+		ib.partitioned = map[string]bool{}
+	}
+	if isolated {
+		ib.partitioned[node] = true
+	} else {
+		delete(ib.partitioned, node)
+	}
+}
+
+// Partitioned reports whether a node is currently isolated.
+func (ib *InBand) Partitioned(node string) bool { return ib.partitioned[node] }
+
+// pathUsable rejects paths touching any partitioned node.
+func (ib *InBand) pathUsable(p []string) bool {
+	for _, n := range p {
+		if ib.partitioned[n] {
+			return false
+		}
+	}
+	return true
 }
 
 // PathTo returns the full node path (GS first) from the EC to a node
 // over the best available gateway, if any.
 func (ib *InBand) PathTo(node string) ([]string, bool) {
+	if ib.partitioned[node] {
+		return nil, false
+	}
 	var best []string
 	for _, gw := range ib.Gateways {
+		if ib.partitioned[gw] {
+			continue
+		}
 		if gw == node {
 			return []string{gw}, true
 		}
-		if p, ok := manet.PathFrom(ib.Router, gw, node); ok {
+		if p, ok := manet.PathFrom(ib.Router, gw, node); ok && ib.pathUsable(p) {
 			if best == nil || len(p) < len(best) {
 				best = p
 			}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"minkowski/internal/backoff"
 	"minkowski/internal/satcom"
 	"minkowski/internal/sim"
 )
@@ -21,8 +22,9 @@ type FrontendConfig struct {
 	// TimeoutLinkS / TimeoutFastS are response timeouts beyond the
 	// TTE for slow (link) and fast (route/drain) commands.
 	TimeoutLinkS, TimeoutFastS float64
-	// MaxAttempts bounds retries (cycling channels).
-	MaxAttempts int
+	// Retry is the unified channel-cycling retry policy (attempt cap,
+	// capped exponential delay, seeded jitter).
+	Retry backoff.Policy
 }
 
 // DefaultFrontendConfig matches the paper's published policy.
@@ -33,7 +35,7 @@ func DefaultFrontendConfig() FrontendConfig {
 		HeartbeatTimeoutS: 15,
 		TimeoutLinkS:      240, // radio boot + search can take 2m30s
 		TimeoutFastS:      30,
-		MaxAttempts:       4,
+		Retry:             backoff.Default(),
 	}
 }
 
@@ -69,6 +71,10 @@ type Frontend struct {
 	nextCmd    uint64
 	nextIntent uint64
 	pending    map[uint64]*pendingCmd
+
+	// down marks the frontend process crashed: incoming telemetry is
+	// not recorded and sends are refused until Restart.
+	down bool
 
 	// Enactments is the completed-command log (Fig. 9 input).
 	Enactments []Enactment
@@ -115,21 +121,68 @@ func (fe *Frontend) Register(node string, enactor Enactor) *Agent {
 	return a
 }
 
-// Unregister removes a node's agent (node left the network).
+// Unregister removes a node's agent (node left the network) and
+// stops its maintenance loops.
 func (fe *Frontend) Unregister(node string) {
+	if a, ok := fe.agents[node]; ok {
+		a.stop()
+	}
 	delete(fe.agents, node)
 	delete(fe.lastHeard, node)
 }
 
+// RebootAgent models a node-side agent reboot with config wipe: the
+// old agent stops, and a fresh one (empty dedupe state, disconnected)
+// takes its place. Returns the new agent.
+func (fe *Frontend) RebootAgent(node string) *Agent {
+	a, ok := fe.agents[node]
+	if !ok {
+		return nil
+	}
+	enactor := a.enactor
+	a.stop()
+	delete(fe.agents, node)
+	delete(fe.lastHeard, node)
+	return fe.Register(node, enactor)
+}
+
+// Crash models the controller process dying: every in-flight
+// command's tracking state and the heartbeat world model are lost.
+// Commands already in transit still reach their agents and may enact;
+// their responses arrive at a frontend that no longer remembers them
+// (the paper's §6 restart-safety hazard).
+func (fe *Frontend) Crash() {
+	fe.down = true
+	for _, p := range fe.pending {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+	}
+	fe.pending = map[uint64]*pendingCmd{}
+	fe.lastHeard = map[string]float64{}
+}
+
+// Restart brings the frontend back; the heartbeat world model
+// rebuilds from incoming telemetry within one heartbeat interval.
+func (fe *Frontend) Restart() { fe.down = false }
+
+// Down reports whether the frontend is crashed.
+func (fe *Frontend) Down() bool { return fe.down }
+
 // InBandUp reports the frontend's view of a node's in-band
-// reachability (heartbeat freshness).
+// reachability (heartbeat freshness). The comparison is strict: a
+// heartbeat exactly HeartbeatTimeoutS old is expired, so liveness at
+// the boundary no longer depends on event ordering.
 func (fe *Frontend) InBandUp(node string) bool {
 	last, ok := fe.lastHeard[node]
-	return ok && fe.eng.Now()-last <= fe.cfg.HeartbeatTimeoutS
+	return ok && fe.eng.Now()-last < fe.cfg.HeartbeatTimeoutS
 }
 
 // heartbeat is called by agents' delivered heartbeats.
 func (fe *Frontend) heartbeat(node string) {
+	if fe.down {
+		return
+	}
 	fe.lastHeard[node] = fe.eng.Now()
 }
 
@@ -139,6 +192,9 @@ func (fe *Frontend) heartbeat(node string) {
 // would typically reach the CDPI frontend many seconds before the
 // satcom response arrived").
 func (fe *Frontend) agentConnected(node string) {
+	if fe.down {
+		return
+	}
 	fe.lastHeard[node] = fe.eng.Now()
 	ids := make([]uint64, 0, len(fe.pending))
 	for id := range fe.pending {
@@ -158,7 +214,10 @@ func (fe *Frontend) agentConnected(node string) {
 // nodes: if every node is in-band, a short delay; otherwise the
 // satcom p95 (§4.2: "it also had to consider the channels available
 // to all other nodes receiving a command as part of the same intent
-// enactment and set the TTE to the longest delay").
+// enactment and set the TTE to the longest delay"). During a full
+// satcom outage the frontend degrades to in-band-only TTE selection:
+// padding for a channel that cannot deliver anything would only delay
+// the nodes that ARE reachable.
 func (fe *Frontend) PickTTE(nodes []string) float64 {
 	allInBand := true
 	for _, n := range nodes {
@@ -167,7 +226,7 @@ func (fe *Frontend) PickTTE(nodes []string) float64 {
 			break
 		}
 	}
-	if allInBand {
+	if allInBand || !fe.sat.Available() {
 		return fe.eng.Now() + fe.cfg.TTEInBandS
 	}
 	return fe.eng.Now() + fe.cfg.TTESatcomS
@@ -183,6 +242,9 @@ func (fe *Frontend) NewIntentID() uint64 {
 // channel, tracking the response, and retrying on timeout with
 // channel cycling. done (optional) fires once with the final result.
 func (fe *Frontend) Send(cmd *Command, done func(ok bool)) uint64 {
+	if fe.down {
+		return 0 // crashed frontend accepts nothing
+	}
 	fe.nextCmd++
 	cmd.ID = fe.nextCmd
 	cmd.Attempt = 1
@@ -239,32 +301,42 @@ func (fe *Frontend) armTimeout(p *pendingCmd, wait float64) {
 	p.timer = fe.eng.After(wait, func() { fe.timeout(p) })
 }
 
-// timeout handles a missing response: cycle channels, re-TTE, resend.
+// timeout handles a missing response: back off, cycle channels,
+// re-TTE, resend.
 func (fe *Frontend) timeout(p *pendingCmd) {
 	if _, live := fe.pending[p.cmd.ID]; !live {
 		return
 	}
 	fe.Timeouts++
-	if p.attempts >= fe.cfg.MaxAttempts {
+	if fe.cfg.Retry.Exhausted(p.attempts) {
 		fe.complete(p, false, ChannelSatcom, false)
 		return
 	}
 	p.attempts++
 	fe.Retries++
-	// Retry is a NEW command ID so the agent doesn't dedupe it, with
-	// a fresh TTE ("set a new TTE, and retried the command").
+	// Retry is a NEW command ID so the agent doesn't dedupe it ("set
+	// a new TTE, and retried the command").
 	fe.nextCmd++
 	old := p.cmd
 	fresh := *old
 	fresh.ID = fe.nextCmd
 	fresh.Attempt = p.attempts
-	if old.TTE > 0 {
-		fresh.TTE = fe.PickTTE([]string{old.Node})
-	}
 	delete(fe.pending, old.ID)
 	p.cmd = &fresh
 	fe.pending[fresh.ID] = p
-	fe.dispatch(p)
+	// Back off before the re-dispatch (unified capped-exponential
+	// policy with seeded jitter), picking the fresh TTE at dispatch
+	// time so it reflects channel state after the wait.
+	delay := fe.cfg.Retry.Delay(p.attempts-1, fe.eng.RNG("cdpi-retry"))
+	fe.eng.After(delay, func() {
+		if _, live := fe.pending[fresh.ID]; !live {
+			return // completed (e.g. side-channel inference) or crashed
+		}
+		if fresh.TTE > 0 {
+			fresh.TTE = fe.PickTTE([]string{fresh.Node})
+		}
+		fe.dispatch(p)
+	})
 }
 
 // response handles an agent's explicit command response.

@@ -1,0 +1,259 @@
+// Package chaos is the fault-injection harness: scenario-scripted,
+// seeded, discrete-event-driven faults against every layer the paper
+// identifies as an operational hazard — the controller's own process
+// (§6 restart safety), the satcom providers (§4.1: p99 RTT near 15
+// minutes, and sometimes nothing at all), gateway sites, the MANET,
+// node agents, and telemetry freshness.
+//
+// The package knows nothing about the controller: it schedules Fault
+// windows on the shared sim.Engine and drives a Hooks struct the
+// embedding system (internal/core) wires to real state transitions.
+// That inversion keeps chaos scenarios deterministic (same engine,
+// same seed, same event order) and lets tests inject faults into any
+// subsystem that exposes hooks.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minkowski/internal/sim"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// ControllerCrash kills the TS-SDN process for the duration; on
+	// expiry the controller restarts and must reconcile (§6).
+	ControllerCrash Kind = iota
+	// SatcomOutage takes a provider down for the duration. Target is
+	// the provider name ("leo", "geo") or "all" for both.
+	SatcomOutage
+	// GatewayLoss takes a ground-station site offline (links killed,
+	// in-band gateway unavailable, excluded from solving). Target is
+	// the ground-station node ID.
+	GatewayLoss
+	// ManetPartition isolates nodes from the in-band mesh for the
+	// duration. Target is a comma-separated node-ID list.
+	ManetPartition
+	// AgentReboot reboots a node's SDN agent with a config wipe at
+	// the start time (Duration is ignored — reboots are impulses).
+	// Target is the node ID.
+	AgentReboot
+	// TelemetryStale freezes weather-telemetry ingestion (gauges stop
+	// reporting; clocks skew) for the duration, forcing the degraded
+	// gauge → forecast → climatology chain.
+	TelemetryStale
+	// SolverOutage makes every solve cycle fail for the duration; the
+	// controller must keep actuating its last-known-good plan.
+	SolverOutage
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case ControllerCrash:
+		return "controller-crash"
+	case SatcomOutage:
+		return "satcom-outage"
+	case GatewayLoss:
+		return "gateway-loss"
+	case ManetPartition:
+		return "manet-partition"
+	case AgentReboot:
+		return "agent-reboot"
+	case TelemetryStale:
+		return "telemetry-stale"
+	case SolverOutage:
+		return "solver-outage"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled fault window.
+type Fault struct {
+	Kind Kind
+	// Target names what the fault hits; interpretation is per Kind.
+	Target string
+	// At is the absolute sim time the fault starts (seconds).
+	At float64
+	// Duration is the fault window length; faults with zero duration
+	// are impulses (AgentReboot always is).
+	Duration float64
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	t := f.Kind.String()
+	if f.Target != "" {
+		t += "(" + f.Target + ")"
+	}
+	if f.Duration > 0 {
+		return fmt.Sprintf("%s @%.0fs +%.0fs", t, f.At, f.Duration)
+	}
+	return fmt.Sprintf("%s @%.0fs", t, f.At)
+}
+
+// Scenario is a named, ordered fault script.
+type Scenario struct {
+	Name   string
+	Faults []Fault
+}
+
+// Standard is the canonical regression script the chaosavail figure
+// replays: a controller crash at T+2h for 10 minutes and one satcom
+// provider out for an hour, plus one fault per remaining class so
+// every degraded mode is exercised in a single run.
+func Standard() Scenario {
+	return Scenario{
+		Name: "standard",
+		Faults: []Fault{
+			{Kind: ControllerCrash, At: 2 * 3600, Duration: 600},
+			{Kind: SatcomOutage, Target: "leo", At: 4 * 3600, Duration: 3600},
+			{Kind: TelemetryStale, Target: "gauges", At: 5.5 * 3600, Duration: 3600},
+			{Kind: SolverOutage, At: 7 * 3600, Duration: 900},
+			{Kind: GatewayLoss, Target: "gs-kisumu", At: 8 * 3600, Duration: 1800},
+		},
+	}
+}
+
+// Hooks are the embedding system's fault actuators. A nil hook makes
+// its fault kind a no-op (logged but inert), so partial wirings are
+// usable in unit tests.
+type Hooks struct {
+	// ControllerCrash / ControllerRestart bracket a crash window.
+	ControllerCrash, ControllerRestart func()
+	// SatcomOutage starts (down=true) or ends a provider outage.
+	SatcomOutage func(provider string, down bool)
+	// GatewayLoss starts or ends a ground-station outage.
+	GatewayLoss func(gs string, down bool)
+	// Partition isolates (or rejoins) one node from the mesh.
+	Partition func(node string, isolated bool)
+	// AgentReboot reboots one node's agent with config wipe.
+	AgentReboot func(node string)
+	// TelemetryStale freezes (or resumes) weather telemetry.
+	TelemetryStale func(stale bool)
+	// SolverOutage starts or ends a solver brown-out.
+	SolverOutage func(down bool)
+}
+
+// Event records one injected transition for post-hoc analysis.
+type Event struct {
+	At    float64
+	Fault Fault
+	// Phase is "start" or "end".
+	Phase string
+}
+
+// Injector schedules a scenario's faults on the engine.
+type Injector struct {
+	eng   *sim.Engine
+	hooks Hooks
+	// Events is the injection log in fire order.
+	Events []Event
+	// Scenario is what was scheduled.
+	Scenario Scenario
+}
+
+// NewInjector creates an injector over the engine and hooks.
+func NewInjector(eng *sim.Engine, hooks Hooks) *Injector {
+	return &Injector{eng: eng, hooks: hooks}
+}
+
+// Schedule arms every fault in the scenario. Faults sort by start
+// time (then declaration order) so scheduling order never depends on
+// script layout.
+func (in *Injector) Schedule(s Scenario) {
+	in.Scenario = s
+	faults := append([]Fault(nil), s.Faults...)
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	for _, f := range faults {
+		f := f
+		in.eng.At(f.At, func() { in.start(f) })
+		if f.Duration > 0 && f.Kind != AgentReboot {
+			in.eng.At(f.At+f.Duration, func() { in.end(f) })
+		}
+	}
+}
+
+func (in *Injector) start(f Fault) {
+	in.Events = append(in.Events, Event{At: in.eng.Now(), Fault: f, Phase: "start"})
+	switch f.Kind {
+	case ControllerCrash:
+		if in.hooks.ControllerCrash != nil {
+			in.hooks.ControllerCrash()
+		}
+	case SatcomOutage:
+		if in.hooks.SatcomOutage != nil {
+			in.hooks.SatcomOutage(f.Target, true)
+		}
+	case GatewayLoss:
+		if in.hooks.GatewayLoss != nil {
+			in.hooks.GatewayLoss(f.Target, true)
+		}
+	case ManetPartition:
+		if in.hooks.Partition != nil {
+			for _, n := range splitTargets(f.Target) {
+				in.hooks.Partition(n, true)
+			}
+		}
+	case AgentReboot:
+		if in.hooks.AgentReboot != nil {
+			in.hooks.AgentReboot(f.Target)
+		}
+	case TelemetryStale:
+		if in.hooks.TelemetryStale != nil {
+			in.hooks.TelemetryStale(true)
+		}
+	case SolverOutage:
+		if in.hooks.SolverOutage != nil {
+			in.hooks.SolverOutage(true)
+		}
+	}
+}
+
+func (in *Injector) end(f Fault) {
+	in.Events = append(in.Events, Event{At: in.eng.Now(), Fault: f, Phase: "end"})
+	switch f.Kind {
+	case ControllerCrash:
+		if in.hooks.ControllerRestart != nil {
+			in.hooks.ControllerRestart()
+		}
+	case SatcomOutage:
+		if in.hooks.SatcomOutage != nil {
+			in.hooks.SatcomOutage(f.Target, false)
+		}
+	case GatewayLoss:
+		if in.hooks.GatewayLoss != nil {
+			in.hooks.GatewayLoss(f.Target, false)
+		}
+	case ManetPartition:
+		if in.hooks.Partition != nil {
+			for _, n := range splitTargets(f.Target) {
+				in.hooks.Partition(n, false)
+			}
+		}
+	case TelemetryStale:
+		if in.hooks.TelemetryStale != nil {
+			in.hooks.TelemetryStale(false)
+		}
+	case SolverOutage:
+		if in.hooks.SolverOutage != nil {
+			in.hooks.SolverOutage(false)
+		}
+	}
+}
+
+// splitTargets parses a comma-separated target list.
+func splitTargets(t string) []string {
+	var out []string
+	for _, s := range strings.Split(t, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

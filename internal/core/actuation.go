@@ -77,6 +77,17 @@ func (c *Controller) actuate(acts intent.Actions) {
 // commandEstablish sends the paired link-establish commands.
 func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
 	now := c.Eng.Now()
+	// Restart-safety metric: commanding a first establish for a link
+	// that is up AND still journaled means the controller forgot work
+	// its own durable record says it already actuated — exactly what
+	// restart reconciliation must prevent. (An up link with no journal
+	// record is the benign baseline case — an earlier intent's attempt
+	// outlived its bookkeeping — which enactEstablish adopts.)
+	if attempt == 1 && c.Journal.HasLink(li.Link) {
+		if l, up := c.Fabric.Get(li.Link); up && l.Up() {
+			c.DuplicateEstablishes++
+		}
+	}
 	nodes := []string{li.NodeA, li.NodeB}
 	tte := c.Frontend.PickTTE(nodes)
 	iid := c.Frontend.NewIntentID()
@@ -92,6 +103,7 @@ func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
 	} else {
 		c.Intents.MarkRetry(li.Link, now)
 	}
+	c.Journal.RecordLink(li)
 	c.Log.Appendf(now, explain.EvCommand, li.Link.String(),
 		"link-establish attempt %d tte=%.0f", attempt, tte)
 	for _, node := range nodes {
@@ -228,6 +240,7 @@ func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
 	// reports it (onLinkDown) or directly if no physical link exists.
 	if _, live := c.Fabric.Get(li.Link); !live {
 		c.Intents.MarkWithdrawn(li.Link, now)
+		c.Journal.DropLink(li.Link)
 	}
 }
 
@@ -238,6 +251,7 @@ func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
 // topology change and its route updates raced.
 func (c *Controller) commandRouteProgram(ri *intent.RouteIntent) {
 	c.Data.DeclareRoute(&dataplane.Route{ID: ri.ID, Path: ri.Path, Generation: ri.Generation})
+	c.Journal.RecordRoute(ri)
 	c.Log.Appendf(c.Eng.Now(), explain.EvRouteIntent, ri.ID, "program gen %d path %v", ri.Generation, ri.Path)
 	for i := 0; i < len(ri.Path)-1; i++ {
 		node, next := ri.Path[i], ri.Path[i+1]
@@ -256,6 +270,7 @@ func (c *Controller) commandRouteProgram(ri *intent.RouteIntent) {
 
 // commandRouteRemoval withdraws a route's entries.
 func (c *Controller) commandRouteRemoval(ri *intent.RouteIntent) {
+	c.Journal.DropRoute(ri.ID)
 	c.Log.Appendf(c.Eng.Now(), explain.EvRouteIntent, ri.ID, "remove gen %d", ri.Generation)
 	for i := 0; i < len(ri.Path)-1; i++ {
 		node := ri.Path[i]
@@ -329,14 +344,37 @@ func (c *Controller) finishAttempt(id radio.LinkID, ok bool) {
 	}
 	if arm.attempt >= c.Cfg.MaxEstablishAttempts {
 		c.Intents.MarkFailed(id, "acquire-failed", c.Eng.Now())
+		c.Journal.DropLink(id)
 		c.Log.Append(c.Eng.Now(), explain.EvLinkState, id.String(),
 			fmt.Sprintf("abandoned after %d attempts", arm.attempt))
 		return
 	}
-	// Retry repeatedly — "since Loon's TS-SDN lacked a feedback loop
-	// and relied on modeled data for network planning, links were
-	// retried repeatedly."
-	c.commandEstablish(li, arm.attempt+1)
+	// Retry — "since Loon's TS-SDN lacked a feedback loop and relied
+	// on modeled data for network planning, links were retried
+	// repeatedly." The re-dispatch rides the unified backoff policy;
+	// the zero-value policy retries immediately (the paper's
+	// behaviour).
+	next := arm.attempt + 1
+	delay := c.Cfg.EstablishRetry.Delay(arm.attempt, c.Eng.RNG("establish-retry"))
+	if delay <= 0 {
+		c.commandEstablish(li, next)
+		return
+	}
+	c.Eng.After(delay, func() {
+		// The world moved while backing off: the intent may have been
+		// withdrawn, superseded, or the controller may have crashed.
+		if c.down {
+			return
+		}
+		cur, stillActive := c.Intents.ActiveLink(id)
+		if !stillActive || cur != li {
+			return
+		}
+		if _, racing := c.arms[id]; racing {
+			return
+		}
+		c.commandEstablish(li, next)
+	})
 }
 
 // onLinkUp handles the fabric's link-up callback.
@@ -344,6 +382,9 @@ func (c *Controller) onLinkUp(l *radio.Link) {
 	now := c.Eng.Now()
 	c.Router.TopologyChanged()
 	c.Intents.MarkEstablished(l.ID, now)
+	if li, ok := c.Intents.ActiveLink(l.ID); ok {
+		c.Journal.RecordLink(li)
+	}
 	c.Log.Append(now, explain.EvLinkState, l.ID.String(), "established")
 	// Complete the arm state successfully.
 	if arm, ok := c.arms[l.ID]; ok {
@@ -379,12 +420,14 @@ func (c *Controller) onLinkDown(l *radio.Link, r radio.Reason) {
 	switch {
 	case r == radio.ReasonWithdrawn:
 		c.Intents.MarkWithdrawn(l.ID, now)
+		c.Journal.DropLink(l.ID)
 	case !wasUp:
 		// A failed establishment attempt: retry logic.
 		c.finishAttempt(l.ID, false)
 	default:
 		// An installed link died unexpectedly.
 		c.Intents.MarkFailed(l.ID, r.String(), now)
+		c.Journal.DropLink(l.ID)
 	}
 }
 
@@ -430,6 +473,23 @@ func (c *Controller) decayFailMemory(m *failMemory) {
 	}
 	if m.count < 0.1 {
 		m.count = 0
+	}
+}
+
+// evictFailMemory bounds the linkFails map: entries whose last
+// failure predates the eviction horizon are dropped outright, so the
+// map cannot grow without bound across a long run's churn of link IDs
+// (pairs that failed once and never recurred).
+func (c *Controller) evictFailMemory() {
+	horizon := c.Cfg.FailMemoryHorizonS
+	if horizon <= 0 {
+		horizon = 3600
+	}
+	now := c.Eng.Now()
+	for id, m := range c.linkFails {
+		if now-m.lastAt > horizon {
+			delete(c.linkFails, id)
+		}
 	}
 }
 

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"minkowski/internal/chaos"
+	"minkowski/internal/dataplane"
+	"minkowski/internal/explain"
+	"minkowski/internal/intent"
+	"minkowski/internal/radio"
+	"minkowski/internal/telemetry"
+)
+
+// InstallChaos wires a fault scenario into this controller's world and
+// schedules it on the shared engine. The injector's hooks map each
+// fault class onto the subsystem it hits; the returned injector
+// exposes the injection log for assertions.
+func (c *Controller) InstallChaos(s chaos.Scenario) *chaos.Injector {
+	inj := chaos.NewInjector(c.Eng, chaos.Hooks{
+		ControllerCrash:   c.Crash,
+		ControllerRestart: c.Restart,
+		SatcomOutage: func(provider string, down bool) {
+			c.Sat.SetProviderDown(provider, down)
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "satcom-"+provider,
+				"provider outage=%v (gateway degrades to in-band-only TTE when none left)", down)
+		},
+		GatewayLoss: c.setGatewayDown,
+		Partition: func(node string, isolated bool) {
+			c.InBand.SetPartitioned(node, isolated)
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, node, "manet partition=%v", isolated)
+		},
+		AgentReboot: c.rebootAgent,
+		TelemetryStale: func(stale bool) {
+			c.gaugesFrozen = stale
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "weather-telemetry",
+				"gauge ingestion frozen=%v", stale)
+		},
+		SolverOutage: func(down bool) {
+			c.solverDown = down
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "solver", "outage=%v", down)
+		},
+	})
+	inj.Schedule(s)
+	return inj
+}
+
+// Crash models the TS-SDN process dying: everything held in process
+// memory — intent store, actuation arm state, CDPI pending tracking,
+// the heartbeat world model, the last plan — is gone. The journal (the
+// durable dispatch record), the node agents, the physical fabric, and
+// the data plane on the nodes all survive and keep running.
+func (c *Controller) Crash() {
+	if c.down {
+		return
+	}
+	now := c.Eng.Now()
+	c.down = true
+	c.Crashes++
+	for _, arm := range c.arms {
+		if arm.timeout != nil {
+			arm.timeout.Cancel()
+		}
+	}
+	c.arms = map[radio.LinkID]*armState{}
+	c.Frontend.Crash()
+	c.Intents = intent.NewStore()
+	c.lastPlan = nil
+	c.Log.Append(now, explain.EvAnomaly, "controller", "process crashed")
+}
+
+// Restart brings the controller back and reconciles intended-vs-actual
+// from the journal before the next solve cycle runs (§6: "restarts of
+// the TS-SDN controller... needed to resynchronize with the fleet
+// rather than re-actuate it").
+func (c *Controller) Restart() {
+	if !c.down {
+		return
+	}
+	c.down = false
+	c.Frontend.Restart()
+	c.reconcileAfterRestart()
+}
+
+// Down reports whether the controller process is currently crashed.
+func (c *Controller) Down() bool { return c.down }
+
+// reconcileAfterRestart rebuilds the intent store from the journal
+// against observed fabric state:
+//
+//   - a journaled link intent whose physical link is up is re-adopted
+//     as Established — the work already happened; re-commanding it
+//     would be a duplicate enactment;
+//   - a journaled link intent with no up link is expired: its arm
+//     state died with the old process, so the next solve re-wants the
+//     link from scratch (and the actuation layer's adopt-existing
+//     path absorbs any still-acquiring radios without a second
+//     physical establish);
+//   - journaled route intents are re-adopted wholesale, preserving
+//     generations so reprograms stay monotonic against the forwarding
+//     entries that survived on the nodes.
+func (c *Controller) reconcileAfterRestart() {
+	now := c.Eng.Now()
+	readoptedLinks, expired := 0, 0
+	for _, li := range c.Journal.Links() {
+		l, ok := c.Fabric.Get(li.Link)
+		if ok && l.Up() {
+			cp := *li
+			cp.State = intent.LinkEstablished
+			if cp.EstablishedAt == 0 {
+				cp.EstablishedAt = l.EstablishedAt
+			}
+			c.Intents.Adopt(&cp)
+			c.Journal.RecordLink(&cp)
+			readoptedLinks++
+			continue
+		}
+		c.Journal.DropLink(li.Link)
+		expired++
+	}
+	readoptedRoutes := 0
+	for _, ri := range c.Journal.Routes() {
+		cp := *ri
+		cp.Path = append([]string(nil), ri.Path...)
+		c.Intents.AdoptRoute(&cp)
+		readoptedRoutes++
+	}
+	c.Readopted += readoptedLinks + readoptedRoutes
+	c.ExpiredOnRestart += expired
+	c.Log.Appendf(now, explain.EvAnomaly, "controller",
+		"restarted; reconciled from journal: links readopted=%d expired=%d routes readopted=%d",
+		readoptedLinks, expired, readoptedRoutes)
+}
+
+// setGatewayDown takes a ground-station site offline (or back): its
+// radio links die, its wired EC entry point disappears, and the solver
+// stops planning through it.
+func (c *Controller) setGatewayDown(gs string, down bool) {
+	if c.gwDown[gs] == down {
+		return
+	}
+	if down {
+		c.gwDown[gs] = true
+		c.InBand.SetPartitioned(gs, true)
+		c.Fabric.FailNode(gs, radio.ReasonPowerLoss)
+		c.Data.FlushNode(gs)
+	} else {
+		delete(c.gwDown, gs)
+		c.InBand.SetPartitioned(gs, false)
+	}
+	c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, gs, "gateway site down=%v", down)
+}
+
+// rebootAgent models a node-side SDN-agent reboot with config wipe:
+// radio links drop, forwarding state is erased, and a fresh agent
+// (empty dedupe memory, disconnected) replaces the old one. The
+// actuation loop re-pushes whatever the node should hold.
+func (c *Controller) rebootAgent(node string) {
+	c.Frontend.RebootAgent(node)
+	c.Fabric.FailNode(node, radio.ReasonPowerLoss)
+	c.Data.FlushNode(node)
+	c.Log.Append(c.Eng.Now(), explain.EvAnomaly, node, "agent rebooted with config wipe")
+}
+
+// liveGateways filters chaos-lost sites out of the solver's gateway
+// set.
+func (c *Controller) liveGateways() []string {
+	if len(c.gwDown) == 0 {
+		return c.gateways
+	}
+	out := make([]string, 0, len(c.gateways))
+	for _, g := range c.gateways {
+		if !c.gwDown[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// drainedWithChaos merges chaos-lost gateways into the solver's
+// drain exclusions.
+func (c *Controller) drainedWithChaos() map[string]bool {
+	d := c.NBI.SolverExclusions()
+	for g := range c.gwDown {
+		d[g] = true
+	}
+	return d
+}
+
+// checkWeatherStaleness flips the fused weather model's Degraded mode
+// when the controller's freshest input exceeds the staleness
+// threshold — the gauge → forecast → climatology fallback chain with
+// an explicit pessimism penalty, instead of silently evaluating links
+// on dead data.
+func (c *Controller) checkWeatherStaleness() {
+	if c.Cfg.WeatherStaleAfterS <= 0 {
+		return
+	}
+	stale := c.WxModel.AgeSeconds() > c.Cfg.WeatherStaleAfterS
+	if stale == c.WxModel.Degraded {
+		return
+	}
+	c.WxModel.Degraded = stale
+	if stale {
+		c.Log.Append(c.Eng.Now(), explain.EvAnomaly, "weather-model",
+			"inputs stale; degraded fallback chain active with pessimism penalty")
+	} else {
+		c.Log.Append(c.Eng.Now(), explain.EvAnomaly, "weather-model",
+			"fresh inputs resumed; degraded mode cleared")
+	}
+}
+
+// DataPlaneFrac returns the instantaneous fraction of in-service
+// balloons whose programmed backhaul route is operable right now —
+// the fine-grained availability signal the chaosavail figure samples
+// through fault windows. NaN when nothing is in service.
+func (c *Controller) DataPlaneFrac() float64 {
+	links := dataplane.LinkCheckerFunc(func(a, b string) bool {
+		_, ok := c.Fabric.LinkBetween(a, b)
+		return ok
+	})
+	total, up := 0, 0
+	for _, n := range c.Fleet.Nodes() {
+		if !c.inService(n) {
+			continue
+		}
+		total++
+		if c.Data.Operable("backhaul/"+n.ID, links) {
+			up++
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(up) / float64(total)
+}
+
+// ControlPlaneFrac returns the instantaneous fraction of in-service
+// balloons with in-band control connectivity.
+func (c *Controller) ControlPlaneFrac() float64 {
+	total, up := 0, 0
+	for _, n := range c.Fleet.Nodes() {
+		if !c.inService(n) {
+			continue
+		}
+		total++
+		if c.InBand.Connected(n.ID) {
+			up++
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(up) / float64(total)
+}
+
+// TelemetryDigest hashes the observable simulation outcome — event
+// count, enactment log, fabric state, intent state, reachability
+// ratios — into one value. Two runs of the same seeded scenario
+// (chaos included) must produce identical digests; this is the §6
+// determinism property the chaos harness must not break.
+func (c *Controller) TelemetryDigest() uint64 {
+	h := fnv.New64a()
+	w := func(format string, args ...interface{}) { fmt.Fprintf(h, format, args...) }
+	w("t=%.3f ev=%d\n", c.Eng.Now(), c.Eng.Processed)
+	for _, e := range c.Frontend.Enactments {
+		w("en %d %.3f %.3f %d %v %v %d\n",
+			e.Kind, e.SubmittedAt, e.CompletedAt, e.Attempts, e.OK, e.Inferred, e.Channel)
+	}
+	for _, l := range c.Fabric.UpLinks() {
+		w("up %s\n", l.ID)
+	}
+	for _, li := range c.Intents.ActiveLinks() {
+		w("li %s %d %d\n", li.Link, li.State, li.Attempts)
+	}
+	for _, ri := range c.Intents.ActiveRoutes() {
+		w("ri %s %d %v\n", ri.ID, ri.Generation, ri.Path)
+	}
+	w("hist=%d fab=%d solves=%d crashes=%d dup=%d readopt=%d expired=%d\n",
+		len(c.Intents.History()), len(c.Fabric.History()), c.SolveRuns,
+		c.Crashes, c.DuplicateEstablishes, c.Readopted, c.ExpiredOnRestart)
+	w("reach l=%.6f c=%.6f d=%.6f\n",
+		c.Reach.Ratio(telemetry.LayerLink),
+		c.Reach.Ratio(telemetry.LayerControl),
+		c.Reach.Ratio(telemetry.LayerData))
+	return h.Sum64()
+}

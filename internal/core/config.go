@@ -12,6 +12,7 @@ package core
 
 import (
 	"minkowski/internal/antenna"
+	"minkowski/internal/backoff"
 	"minkowski/internal/geo"
 	"minkowski/internal/itu"
 	"minkowski/internal/weather"
@@ -69,6 +70,30 @@ type Config struct {
 	// DisablePower keeps every payload on permanently (ablations and
 	// tests that don't want the diurnal cycle).
 	DisablePower bool
+
+	// --- Robustness knobs -------------------------------------------
+
+	// FailMemoryHorizonS evicts adaptive-penalty failure memory whose
+	// last failure is older than this, bounding the linkFails map over
+	// long runs. 0 keeps the default (3600 s).
+	FailMemoryHorizonS float64
+	// ReachabilityPeriodS overrides the reachability tracker's
+	// aggregation period when > 0 (default one day).
+	ReachabilityPeriodS float64
+	// WeatherStaleAfterS is the fused-model age beyond which the
+	// controller declares its weather inputs stale and flips the model
+	// into Degraded mode (stale-fallback chain + pessimism penalty).
+	// 0 disables detection.
+	WeatherStaleAfterS float64
+	// WeatherStalePenalty multiplies rain estimates served from stale
+	// sources in Degraded mode (> 1 = conservative). 0 keeps the
+	// default (1.5).
+	WeatherStalePenalty float64
+	// EstablishRetry paces link-establishment re-dispatch between
+	// attempts. The zero value preserves the paper's production
+	// behaviour — "links were retried repeatedly", immediately; set a
+	// policy to adopt the unified capped-exponential backoff.
+	EstablishRetry backoff.Policy
 
 	// --- Ablation knobs (zero values = production behaviour) ---
 
@@ -140,5 +165,8 @@ func DefaultConfig() Config {
 		BackhaulBitrateBps:    50e6,
 		RedundancyTargetFrac:  0.7,
 		WeatherCellsPerHour:   6,
+		FailMemoryHorizonS:    3600,
+		WeatherStaleAfterS:    1800,
+		WeatherStalePenalty:   1.5,
 	}
 }

@@ -66,6 +66,16 @@ type Controller struct {
 	Scrubber     *explain.Scrubber
 	SolveRuns    int
 
+	// Robustness (chaos harness + crash-restart reconciliation).
+	Journal *Journal
+	// Crashes / Readopted / ExpiredOnRestart / DuplicateEstablishes
+	// are the restart-safety counters the chaos acceptance test reads:
+	// DuplicateEstablishes counts first-attempt establish commands
+	// issued for links that are already up and still journaled —
+	// re-actuation of work the controller's durable record says it
+	// already did. Correct restart reconciliation keeps this at zero.
+	Crashes, Readopted, ExpiredOnRestart, DuplicateEstablishes int
+
 	gateways []string
 	todOff   float64
 	arms     map[radio.LinkID]*armState
@@ -75,6 +85,18 @@ type Controller struct {
 	linkFails                   map[radio.LinkID]*failMemory
 	prevHourGraph, prevMinGraph []*linkeval.Report
 	lastPlan                    *solver.Plan
+	// down marks the controller process crashed: its periodic loops
+	// skip work until restart. The physical world and node agents run
+	// on regardless.
+	down bool
+	// gwDown marks ground-station sites lost to chaos.
+	gwDown map[string]bool
+	// gaugesFrozen stops gauge telemetry ingestion (chaos:
+	// telemetry-staleness fault).
+	gaugesFrozen bool
+	// solverDown fails every solve (chaos: solver brown-out); the
+	// controller keeps actuating its last-known-good plan.
+	solverDown bool
 }
 
 // New builds and wires a controller; call Run to simulate.
@@ -142,7 +164,14 @@ func New(cfg Config) *Controller {
 	if useClim {
 		sources = append(sources, &weather.Climatology{Model: itu.DefaultRegionalModel(), Season: cfg.Season})
 	}
-	fused := &weather.Fused{Sources: sources, MaxAge: 1800}
+	stalePenalty := cfg.WeatherStalePenalty
+	if stalePenalty == 0 {
+		stalePenalty = 1.5
+	}
+	fused := &weather.Fused{
+		Sources: sources, MaxAge: 1800,
+		StaleAfterS: cfg.WeatherStaleAfterS, StalePenalty: stalePenalty,
+	}
 
 	solverCfg := solver.DefaultConfig()
 	if cfg.RedundancyTargetFrac >= 0 {
@@ -152,6 +181,10 @@ func New(cfg Config) *Controller {
 		solverCfg.HysteresisBonus = cfg.SolverHysteresisBonus
 	}
 
+	reachPeriod := cfg.ReachabilityPeriodS
+	if reachPeriod <= 0 {
+		reachPeriod = 86400
+	}
 	c := &Controller{
 		Cfg: cfg, Eng: eng,
 		Wx: wx, Wind: wd, FMS: fms, Fleet: fleet, Fabric: fabric,
@@ -161,7 +194,7 @@ func New(cfg Config) *Controller {
 		Intents:      intent.NewStore(),
 		Data:         dataplane.NewState(),
 		NBI:          nbi.NewService(),
-		Reach:        telemetry.NewReachability(86400),
+		Reach:        telemetry.NewReachability(reachPeriod),
 		LinkLife:     telemetry.NewLinkLife(),
 		Recovery:     telemetry.NewRecovery(),
 		RecoveryCtrl: telemetry.NewRecovery(),
@@ -170,11 +203,13 @@ func New(cfg Config) *Controller {
 		ModelErr:     &telemetry.ModelError{},
 		Log:          &explain.Log{Cap: 200000},
 		Scrubber:     &explain.Scrubber{Cap: 5000},
+		Journal:      NewJournal(),
 		gateways:     gateways,
 		todOff:       cfg.StartTODHours * 3600,
 		arms:         map[radio.LinkID]*armState{},
 		wasOn:        map[string]bool{},
 		linkFails:    map[radio.LinkID]*failMemory{},
+		gwDown:       map[string]bool{},
 	}
 	evalCfg := linkeval.DefaultConfig()
 	evalCfg.DropMarginal = cfg.DropMarginalLinks
@@ -216,14 +251,22 @@ func (c *Controller) install() {
 		c.stepFleet(60)
 		return true
 	})
-	// Gauges sample each minute; forecasts refresh every 12 h.
+	// Gauges sample each minute; forecasts refresh every 12 h. A
+	// telemetry-staleness fault freezes gauge ingestion; a controller
+	// crash stops forecast ingestion (it is a controller process).
 	eng.Every(60, func() bool {
+		if c.gaugesFrozen {
+			return true
+		}
 		for _, g := range c.Gauges {
 			g.Sample()
 		}
 		return true
 	})
 	eng.Every(12*3600, func() bool {
+		if c.down {
+			return true
+		}
 		c.Forecast = weather.Issue(c.Wx, weather.DefaultForecastConfig(), c.Cfg.Seed^int64(c.Eng.Now()))
 		c.rebuildFusion()
 		c.Log.Append(eng.Now(), explain.EvWeather, "forecast", "new ECMWF-style forecast ingested")
@@ -231,12 +274,18 @@ func (c *Controller) install() {
 	})
 	// LTE service management + drains.
 	eng.Every(60, func() bool {
+		if c.down {
+			return true
+		}
 		c.manageService()
 		c.NBI.Tick(eng.Now(), c.Data.TraversedBy)
 		return true
 	})
 	// The solve cycle.
 	eng.Every(c.Cfg.SolveIntervalS, func() bool {
+		if c.down {
+			return true
+		}
 		c.solveCycle()
 		return true
 	})
@@ -344,10 +393,24 @@ func (c *Controller) manageService() {
 	}
 }
 
-// solveCycle runs evaluator → solver → reconcile → actuate.
+// solveCycle runs evaluator → solver → reconcile → actuate, with the
+// degraded modes of §6: stale weather flips the fused model into its
+// penalized fallback chain, a solver outage keeps the last-known-good
+// plan actuating, and lost gateway sites drop out of the input.
 func (c *Controller) solveCycle() {
 	now := c.Eng.Now()
 	c.SolveRuns++
+	c.checkWeatherStaleness()
+	c.evictFailMemory()
+	if c.solverDown {
+		// Degraded mode: the solver is failing or timing out. Keep the
+		// last-known-good plan in force — realign route state toward it
+		// but author nothing new.
+		c.Log.Appendf(now, explain.EvAnomaly, fmt.Sprintf("cycle-%d", c.SolveRuns),
+			"solver unavailable; holding last-known-good plan")
+		c.realignRoutes()
+		return
+	}
 	xcvrs := c.Fleet.Transceivers()
 	if len(xcvrs) == 0 {
 		return
@@ -361,8 +424,8 @@ func (c *Controller) solveCycle() {
 		Candidates: graph,
 		Requests:   c.NBI.SolverRequests(),
 		Existing:   existing,
-		Gateways:   c.gateways,
-		Drained:    c.NBI.SolverExclusions(),
+		Gateways:   c.liveGateways(),
+		Drained:    c.drainedWithChaos(),
 		Penalties:  c.adaptivePenalties(),
 	}
 	plan := c.Solver.Solve(in)

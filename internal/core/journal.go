@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sort"
+
+	"minkowski/internal/intent"
+	"minkowski/internal/radio"
+)
+
+// Journal is the controller's dispatch-time write-ahead record: a copy
+// of every live link and route intent, updated at each state
+// transition and dropped on terminal states. It models the durable
+// store a production TS-SDN writes before actuating (§6 restart
+// safety) — everything else in the controller is process memory and
+// dies with a crash, but the journal survives and seeds
+// reconciliation on restart.
+//
+// Entries are deep-enough copies: a journaled intent shares no mutable
+// state with the live store, so post-crash reads see exactly what was
+// last journaled, not whatever the dying process mutated afterwards.
+type Journal struct {
+	links  map[radio.LinkID]*intent.LinkIntent
+	routes map[string]*intent.RouteIntent
+	// Writes counts journal updates (telemetry/testing).
+	Writes int
+}
+
+// NewJournal creates an empty journal.
+func NewJournal() *Journal {
+	return &Journal{
+		links:  map[radio.LinkID]*intent.LinkIntent{},
+		routes: map[string]*intent.RouteIntent{},
+	}
+}
+
+// RecordLink journals the current state of a link intent.
+func (j *Journal) RecordLink(li *intent.LinkIntent) {
+	if li == nil {
+		return
+	}
+	cp := *li
+	j.links[li.Link] = &cp
+	j.Writes++
+}
+
+// DropLink removes a terminated link intent.
+func (j *Journal) DropLink(id radio.LinkID) { delete(j.links, id) }
+
+// HasLink reports whether the journal holds a record for this link —
+// i.e. the controller durably knows it already dispatched work for it.
+func (j *Journal) HasLink(id radio.LinkID) bool {
+	_, ok := j.links[id]
+	return ok
+}
+
+// RecordRoute journals the current state of a route intent.
+func (j *Journal) RecordRoute(ri *intent.RouteIntent) {
+	if ri == nil {
+		return
+	}
+	cp := *ri
+	cp.Path = append([]string(nil), ri.Path...)
+	j.routes[ri.ID] = &cp
+	j.Writes++
+}
+
+// DropRoute removes a terminated route intent.
+func (j *Journal) DropRoute(id string) { delete(j.routes, id) }
+
+// Links returns journaled link intents sorted by link ID (restart
+// reconciliation must iterate deterministically).
+func (j *Journal) Links() []*intent.LinkIntent {
+	out := make([]*intent.LinkIntent, 0, len(j.links))
+	for _, li := range j.links {
+		out = append(out, li)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Link.A != out[k].Link.A {
+			return out[i].Link.A < out[k].Link.A
+		}
+		return out[i].Link.B < out[k].Link.B
+	})
+	return out
+}
+
+// Routes returns journaled route intents sorted by ID.
+func (j *Journal) Routes() []*intent.RouteIntent {
+	out := make([]*intent.RouteIntent, 0, len(j.routes))
+	for _, ri := range j.routes {
+		out = append(out, ri)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

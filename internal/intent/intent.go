@@ -250,6 +250,32 @@ func (st *Store) MarkRouteProgrammed(id string, now float64) {
 	}
 }
 
+// --- Restart adoption (crash-restart reconciliation, §6) -------------
+
+// Adopt re-inserts a journaled link intent after a controller
+// restart, preserving its state, timestamps, and attempt count so the
+// actuation layer does not re-command work that already happened. The
+// ID counter advances past the adopted ID to keep new IDs unique.
+func (st *Store) Adopt(li *LinkIntent) {
+	if li == nil || li.State.Terminal() {
+		return
+	}
+	st.links[li.Link] = li
+	if li.ID > st.nextID {
+		st.nextID = li.ID
+	}
+}
+
+// AdoptRoute re-inserts a journaled route intent after a restart,
+// preserving its generation so reprograms stay monotonic against the
+// per-node entries that survived on the data plane.
+func (st *Store) AdoptRoute(ri *RouteIntent) {
+	if ri == nil || ri.State == RouteRemoved {
+		return
+	}
+	st.routes[ri.ID] = ri
+}
+
 // --- Reconciliation ---------------------------------------------------
 
 // Actions is the output of one reconcile pass: what the actuation

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"minkowski/internal/backoff"
 	"minkowski/internal/sim"
 )
 
@@ -36,6 +37,8 @@ type Message struct {
 	RequiresInBand bool
 	// Payload is opaque to the satcom layer.
 	Payload interface{}
+	// Attempts counts gateway transmission tries (outage requeues).
+	Attempts int
 }
 
 // Provider is one satellite messaging service.
@@ -105,9 +108,18 @@ type Gateway struct {
 	// up to measure what notification would have saved.
 	OnDrop func(m *Message, why string)
 
+	// Retry governs requeues while every provider is in outage
+	// (capped exponential + seeded jitter; the unified fleet policy).
+	Retry backoff.Policy
+
+	// down marks providers in outage (chaos-injected or scheduled
+	// maintenance); down providers accept no new transmissions but
+	// in-flight messages still arrive.
+	down map[string]bool
+
 	nextID uint64
 	// Counters.
-	Sent, Dropped, Delivered uint64
+	Sent, Dropped, Delivered, Requeued uint64
 }
 
 // NewGateway creates a gateway over the given providers.
@@ -120,11 +132,44 @@ func NewGateway(eng *sim.Engine, providers []*Provider) *Gateway {
 			p.nextFree = map[string]float64{}
 		}
 	}
-	return &Gateway{eng: eng, providers: providers}
+	return &Gateway{
+		eng: eng, providers: providers,
+		Retry: backoff.Policy{BaseS: 30, CapS: 600, Mult: 2, JitterFrac: 0.2, MaxAttempts: 8},
+		down:  map[string]bool{},
+	}
+}
+
+// SetProviderDown starts or ends a provider outage ("all" targets
+// every provider — the both-services-dark scenario of §4.1).
+func (g *Gateway) SetProviderDown(name string, isDown bool) {
+	if name == "all" {
+		for _, p := range g.providers {
+			g.down[p.Name] = isDown
+		}
+		return
+	}
+	g.down[name] = isDown
+}
+
+// ProviderDown reports a provider's outage state.
+func (g *Gateway) ProviderDown(name string) bool { return g.down[name] }
+
+// Available reports whether at least one provider can transmit — the
+// CDPI frontend falls back to in-band-only TTE selection when false.
+func (g *Gateway) Available() bool {
+	for _, p := range g.providers {
+		if !g.down[p.Name] {
+			return true
+		}
+	}
+	return false
 }
 
 // Send submits a message. Returns the assigned message ID and whether
-// the gateway accepted it (false = dropped immediately).
+// the gateway accepted it (false = dropped immediately). During a
+// full outage the message is queued and retried on the gateway's
+// backoff policy until a provider returns or its TTE becomes
+// infeasible.
 func (g *Gateway) Send(m *Message) (uint64, bool) {
 	g.nextID++
 	m.ID = g.nextID
@@ -132,12 +177,21 @@ func (g *Gateway) Send(m *Message) (uint64, bool) {
 		g.drop(m, "requires-in-band")
 		return m.ID, false
 	}
-	// Choose the provider with the lowest expected delivery time
-	// given per-node rate limiting.
+	return m.ID, g.transmit(m)
+}
+
+// transmit performs one transmission attempt (initial or requeued).
+func (g *Gateway) transmit(m *Message) bool {
+	m.Attempts++
+	// Choose the available provider with the lowest expected delivery
+	// time given per-node rate limiting.
 	now := g.eng.Now()
 	var best *Provider
 	bestETA := math.Inf(1)
 	for _, p := range g.providers {
+		if g.down[p.Name] {
+			continue
+		}
 		txAt := math.Max(now, p.nextFree[m.Dest])
 		eta := txAt + p.expectedOneWay()
 		if eta < bestETA {
@@ -145,11 +199,14 @@ func (g *Gateway) Send(m *Message) (uint64, bool) {
 			best = p
 		}
 	}
+	if best == nil {
+		return g.requeue(m)
+	}
 	// TTE feasibility on the *estimate* (queue-blind: the actual
 	// draw may still miss the TTE — that failure mode is real).
 	if m.TTE > 0 && bestETA > m.TTE {
 		g.drop(m, "tte-infeasible")
-		return m.ID, false
+		return false
 	}
 	txAt := math.Max(now, best.nextFree[m.Dest])
 	best.nextFree[m.Dest] = txAt + best.PerNodeIntervalS
@@ -161,7 +218,24 @@ func (g *Gateway) Send(m *Message) (uint64, bool) {
 			g.Deliver(m)
 		}
 	})
-	return m.ID, true
+	return true
+}
+
+// requeue schedules a retry during a full outage, or drops the
+// message once its TTE or the retry budget is unreachable.
+func (g *Gateway) requeue(m *Message) bool {
+	if g.Retry.Exhausted(m.Attempts) {
+		g.drop(m, "no-provider")
+		return false
+	}
+	delay := g.Retry.Delay(m.Attempts, g.eng.RNG("satcom-requeue"))
+	if m.TTE > 0 && g.eng.Now()+delay > m.TTE {
+		g.drop(m, "no-provider")
+		return false
+	}
+	g.Requeued++
+	g.eng.After(delay, func() { g.transmit(m) })
+	return true
 }
 
 func (g *Gateway) drop(m *Message, why string) {

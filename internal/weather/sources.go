@@ -180,12 +180,29 @@ func (c *Climatology) Name() string { return "itu-seasonal" }
 
 // Fused combines sources with the paper's freshness-priority rule:
 // the freshest covering source wins (gauges beat forecasts beat
-// climatology as long as they're being sampled).
+// climatology as long as they're being sampled). When every covering
+// source has gone stale — a gauge telemetry outage, an overdue
+// forecast — the fusion keeps answering (the degraded gauge →
+// forecast → climatology chain) but applies an explicit staleness
+// penalty so downstream link evaluation turns conservative rather
+// than optimistic on dead data.
 type Fused struct {
 	Sources []Source
 	// MaxAge discards sources staler than this (seconds); 0 means no
-	// limit.
+	// limit. In Degraded mode sources beyond MaxAge are consulted as
+	// a fallback when nothing fresher covers the point, never
+	// preferred.
 	MaxAge float64
+	// Degraded activates the stale-fallback chain: set by the
+	// controller when it detects its fresh inputs have dried up
+	// (gauge telemetry outage, overdue forecasts).
+	Degraded bool
+	// StaleAfterS is the age beyond which a winning source's
+	// estimate is penalized in Degraded mode; 0 disables the
+	// penalty.
+	StaleAfterS float64
+	// StalePenalty multiplies a stale estimate (> 1 = pessimism).
+	StalePenalty float64
 }
 
 // EstimateRain implements Source by delegating to the freshest
@@ -195,10 +212,15 @@ func (fu *Fused) EstimateRain(p geo.LLA) (float64, bool) {
 		rate float64
 		age  float64
 	}
-	var cands []cand
+	var cands, staleCands []cand
 	for _, s := range fu.Sources {
 		age := s.AgeSeconds()
 		if fu.MaxAge > 0 && age > fu.MaxAge {
+			if fu.Degraded {
+				if rate, ok := s.EstimateRain(p); ok {
+					staleCands = append(staleCands, cand{rate, age})
+				}
+			}
 			continue
 		}
 		if rate, ok := s.EstimateRain(p); ok {
@@ -206,10 +228,20 @@ func (fu *Fused) EstimateRain(p geo.LLA) (float64, bool) {
 		}
 	}
 	if len(cands) == 0 {
+		// Degraded mode: everything covering this point is beyond
+		// MaxAge. Fall down the priority chain anyway — a stale
+		// answer with a pessimism penalty beats no answer.
+		cands = staleCands
+	}
+	if len(cands) == 0 {
 		return 0, false
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].age < cands[j].age })
-	return cands[0].rate, true
+	best := cands[0]
+	if fu.Degraded && fu.StaleAfterS > 0 && best.age > fu.StaleAfterS && fu.StalePenalty > 1 {
+		return best.rate * fu.StalePenalty, true
+	}
+	return best.rate, true
 }
 
 // AgeSeconds implements Source with the freshest member's age.

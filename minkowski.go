@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"minkowski/internal/chaos"
 	"minkowski/internal/core"
 	"minkowski/internal/explain"
 	"minkowski/internal/geo"
@@ -64,6 +65,40 @@ func DefaultScenario() Scenario { return core.DefaultConfig() }
 
 // KenyaRegion returns the default service region box.
 func KenyaRegion() weather.Region { return weather.KenyaRegion() }
+
+// ChaosScenario scripts a set of faults against a simulation: each
+// Fault names a kind, an optional target, a start time, and a
+// duration. Injection runs on the simulation's deterministic engine,
+// so a seeded chaos run replays bit-for-bit.
+type ChaosScenario = chaos.Scenario
+
+// ChaosFault is one scripted fault in a ChaosScenario.
+type ChaosFault = chaos.Fault
+
+// ChaosKind enumerates the injectable fault classes.
+type ChaosKind = chaos.Kind
+
+// Injectable fault classes.
+const (
+	ControllerCrash = chaos.ControllerCrash // TS-SDN process dies; journal + fleet survive
+	SatcomOutage    = chaos.SatcomOutage    // provider (or "all") stops delivering
+	GatewayLoss     = chaos.GatewayLoss     // a ground-station site drops entirely
+	ManetPartition  = chaos.ManetPartition  // nodes isolated from the in-band mesh
+	AgentReboot     = chaos.AgentReboot     // node agent restarts with config wipe
+	TelemetryStale  = chaos.TelemetryStale  // weather gauge ingestion freezes
+	SolverOutage    = chaos.SolverOutage    // plan authoring unavailable
+)
+
+// StandardChaos returns the standard fault script: a controller crash
+// at T+2h, a satcom provider outage at T+4h, stale telemetry at
+// T+5.5h, a solver brown-out at T+7h, and a gateway-site loss at
+// T+8h. It drives the chaosavail figure.
+func StandardChaos() ChaosScenario { return chaos.Standard() }
+
+// InjectFaults schedules a chaos scenario against this simulation.
+// Call it before running; faults fire at their scripted times as the
+// clock advances.
+func (s *Simulation) InjectFaults(sc ChaosScenario) { s.c.InstallChaos(sc) }
 
 // Simulation is a running TS-SDN world.
 type Simulation struct {
