@@ -1,0 +1,106 @@
+// Command benchguard is the CI benchmark-regression gate for the Link
+// Evaluator. It compares a freshly measured BENCH_linkeval.json (see
+// TestWriteBenchJSON in internal/linkeval) against the committed
+// baseline and fails if evaluation throughput regressed by more than
+// the allowed fraction.
+//
+// CI machines differ wildly in absolute speed, so the guard never
+// compares ns/op across runs. It compares the *speedup ratios*
+// (brute-force time ÷ incremental time), which divide out the
+// machine: a >20% drop in cold or warm speedup at any scale means the
+// incremental pipeline itself got slower relative to the brute-force
+// reference measured on the same box, and the build fails.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard -current BENCH_linkeval.json \
+//	    -baseline internal/linkeval/testdata/bench_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	BruteNsOp   float64 `json:"brute_ns_op"`
+	ColdNsOp    float64 `json:"incremental_cold_ns_op"`
+	WarmNsOp    float64 `json:"incremental_warm_ns_op"`
+	PairsPerSec float64 `json:"incremental_pairs_per_s"`
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+	ColdSpeedup float64 `json:"cold_speedup_vs_brute"`
+	WarmSpeedup float64 `json:"warm_speedup_vs_brute"`
+}
+
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := map[string]record{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	return m, nil
+}
+
+func main() {
+	currentPath := flag.String("current", "BENCH_linkeval.json", "freshly measured benchmark summary")
+	baselinePath := flag.String("baseline", "internal/linkeval/testdata/bench_baseline.json", "committed baseline summary")
+	maxDrop := flag.Float64("max-drop", 0.20, "maximum allowed fractional speedup drop vs baseline")
+	flag.Parse()
+
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	scales := make([]string, 0, len(baseline))
+	for s := range baseline {
+		scales = append(scales, s)
+	}
+	sort.Strings(scales)
+
+	failed := false
+	check := func(scale, name string, cur, base float64) {
+		if base <= 0 {
+			return
+		}
+		floor := base * (1 - *maxDrop)
+		status := "ok"
+		if cur < floor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-8s %-14s current %6.2fx  baseline %6.2fx  floor %6.2fx  %s\n",
+			scale, name, cur, base, floor, status)
+	}
+	for _, scale := range scales {
+		base := baseline[scale]
+		cur, ok := current[scale]
+		if !ok {
+			fmt.Printf("%-8s missing from current measurement  FAIL\n", scale)
+			failed = true
+			continue
+		}
+		check(scale, "cold-speedup", cur.ColdSpeedup, base.ColdSpeedup)
+		check(scale, "warm-speedup", cur.WarmSpeedup, base.WarmSpeedup)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: evaluator speedup regressed more than %.0f%% vs baseline\n", *maxDrop*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: evaluator speedups within regression bounds")
+}

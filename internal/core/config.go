@@ -71,6 +71,23 @@ type Config struct {
 	// tests that don't want the diurnal cycle).
 	DisablePower bool
 
+	// --- Evaluator performance knobs --------------------------------
+
+	// EvalBruteForce disables the incremental spatially-indexed Link
+	// Evaluator pipeline and falls back to the reference O(N²) sweep
+	// (equivalence testing and performance baselines). The default
+	// incremental pipeline is bit-identical to the sweep at the
+	// default EvalDisplacementEpsM of 0.
+	EvalBruteForce bool
+	// EvalDisplacementEpsM is the evaluator cache's displacement
+	// epsilon in meters: a cached link evaluation is reused while both
+	// endpoints' predicted positions stay within this distance of
+	// where it was computed and the weather epoch is unchanged. 0
+	// requires exact position equality (no approximation); positive
+	// values trade bounded staleness for cache hits on slowly
+	// drifting fleets.
+	EvalDisplacementEpsM float64
+
 	// --- Robustness knobs -------------------------------------------
 
 	// FailMemoryHorizonS evicts adaptive-penalty failure memory whose

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"minkowski/internal/cdpi"
 	"minkowski/internal/dataplane"
@@ -85,6 +86,9 @@ type Controller struct {
 	linkFails                   map[radio.LinkID]*failMemory
 	prevHourGraph, prevMinGraph []*linkeval.Report
 	lastPlan                    *solver.Plan
+	// lastEvalStats snapshots the evaluator's cumulative work counters
+	// at the previous solve cycle, for per-cycle telemetry deltas.
+	lastEvalStats linkeval.Stats
 	// down marks the controller process crashed: its periodic loops
 	// skip work until restart. The physical world and node agents run
 	// on regardless.
@@ -213,7 +217,10 @@ func New(cfg Config) *Controller {
 	}
 	evalCfg := linkeval.DefaultConfig()
 	evalCfg.DropMarginal = cfg.DropMarginalLinks
+	evalCfg.Incremental = !cfg.EvalBruteForce
+	evalCfg.DisplacementEpsM = cfg.EvalDisplacementEpsM
 	c.Evaluator = linkeval.New(evalCfg, fused, c.predictPosition)
+	c.Evaluator.PredictBatch = c.predictPositionsBatch
 
 	fabric.OnUp = c.onLinkUp
 	fabric.OnDown = c.onLinkDown
@@ -242,13 +249,82 @@ func (c *Controller) predictPosition(n *platform.Node, lead float64) (p geo.LLA)
 	return pts[len(pts)-1].Pos
 }
 
+// predictPositionsBatch serves the Link Evaluator's horizon sweeps:
+// one frozen-field trajectory integration per balloon covering every
+// lead in the horizon, instead of one integration per lead (or,
+// before positions were shared, one per transceiver pair per lead).
+// When the leads are not aligned multiples of the shortest one it
+// falls back to per-lead prediction.
+func (c *Controller) predictPositionsBatch(n *platform.Node, leads []float64) []geo.LLA {
+	out := make([]geo.LLA, len(leads))
+	fill := func() {
+		for i, l := range leads {
+			out[i] = c.predictPosition(n, l)
+		}
+	}
+	if n.Kind == platform.KindGround {
+		p := n.Position()
+		for i := range out {
+			out[i] = p
+		}
+		return out
+	}
+	step, maxLead := 0.0, 0.0
+	for _, l := range leads {
+		if l <= 0 {
+			continue
+		}
+		if step == 0 || l < step {
+			step = l
+		}
+		if l > maxLead {
+			maxLead = l
+		}
+	}
+	if step <= 0 {
+		fill()
+		return out
+	}
+	for _, l := range leads {
+		if l <= 0 {
+			continue
+		}
+		k := math.Round(l / step)
+		if math.Abs(l-k*step) > 1e-9*step {
+			fill()
+			return out
+		}
+	}
+	pts := c.FMS.PredictTrajectory(n.Balloon, maxLead, step)
+	for i, l := range leads {
+		if l <= 0 {
+			out[i] = n.Position()
+			continue
+		}
+		idx := int(math.Round(l/step)) - 1
+		if idx >= len(pts) {
+			idx = len(pts) - 1
+		}
+		if idx < 0 {
+			out[i] = n.Position()
+		} else {
+			out[i] = pts[idx].Pos
+		}
+	}
+	return out
+}
+
 // install schedules every periodic process.
 func (c *Controller) install() {
 	eng := c.Eng
-	// Physical world: weather and flight at 1-minute ticks.
+	// Physical world: weather and flight at 1-minute ticks. Time
+	// advancing changes the *estimated* weather too (forecast cells
+	// self-advect, source ages grow past thresholds), so the tick
+	// also advances the evaluator's weather epoch.
 	eng.Every(60, func() bool {
 		c.Wx.Step(60)
 		c.stepFleet(60)
+		c.Evaluator.BumpWeatherEpoch()
 		return true
 	})
 	// Gauges sample each minute; forecasts refresh every 12 h. A
@@ -261,6 +337,7 @@ func (c *Controller) install() {
 		for _, g := range c.Gauges {
 			g.Sample()
 		}
+		c.Evaluator.BumpWeatherEpoch()
 		return true
 	})
 	eng.Every(12*3600, func() bool {
@@ -372,6 +449,7 @@ func (c *Controller) rebuildFusion() {
 	}
 	c.WxModel.Sources = sources
 	c.Evaluator.Weather = c.WxModel
+	c.Evaluator.BumpWeatherEpoch()
 }
 
 // manageService emulates the LTE management stack: balloons in the
@@ -416,6 +494,8 @@ func (c *Controller) solveCycle() {
 		return
 	}
 	graph := c.Evaluator.CandidateGraph(xcvrs, c.Cfg.PredictiveLeadS)
+	evalDelta := c.Evaluator.Stats().Sub(c.lastEvalStats)
+	c.lastEvalStats = c.Evaluator.Stats()
 	existing := map[radio.LinkID]bool{}
 	for _, l := range c.Fabric.UpLinks() {
 		existing[l.ID] = true
@@ -432,8 +512,9 @@ func (c *Controller) solveCycle() {
 	c.lastPlan = plan
 	c.realignRoutes()
 	c.Log.Appendf(now, explain.EvSolve, fmt.Sprintf("cycle-%d", c.SolveRuns),
-		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f",
-		len(graph), len(plan.Links), plan.RedundantCount(), len(plan.Routes), len(plan.Unsatisfied), plan.Utility)
+		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f evalpairs=%d pruned=%d reevals=%d cachehits=%d",
+		len(graph), len(plan.Links), plan.RedundantCount(), len(plan.Routes), len(plan.Unsatisfied), plan.Utility,
+		evalDelta.PairsEnumerated, evalDelta.PairsPruned, evalDelta.ReEvals, evalDelta.CacheHits)
 	acts := c.Intents.Reconcile(plan, now)
 	c.actuate(acts)
 	// Snapshot for the scrubber.

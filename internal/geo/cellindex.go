@@ -1,0 +1,89 @@
+package geo
+
+// CellIndex buckets positions into a uniform grid of cubic cells in
+// the ECEF frame, sized so that any two positions within the cell
+// edge length are guaranteed to land in the same or an adjacent cell
+// along every axis. The Link Evaluator uses it to enumerate only
+// transceiver pairs within plausible link range (Config.MaxRangeM)
+// instead of sweeping all N² pairs: for a query point, scanning the
+// 3×3×3 neighborhood of its cell yields a superset of every indexed
+// point within one cell edge of it, and nothing farther than
+// 2·√3 edges.
+//
+// The index is rebuilt each evaluation epoch (positions move every
+// tick); Reset reuses the allocated buckets so steady-state rebuilds
+// are allocation-free.
+type CellIndex struct {
+	cellM float64
+	cells map[cellKey][]int32
+	n     int
+}
+
+type cellKey struct{ x, y, z int32 }
+
+// NewCellIndex creates an index with the given cell edge length in
+// meters (typically the evaluator's MaxRangeM).
+func NewCellIndex(cellM float64) *CellIndex {
+	ci := &CellIndex{cells: make(map[cellKey][]int32)}
+	ci.Reset(cellM)
+	return ci
+}
+
+// Reset empties the index and sets the cell edge length, retaining
+// bucket capacity so steady-state rebuilds don't allocate.
+func (ci *CellIndex) Reset(cellM float64) {
+	if cellM <= 0 {
+		cellM = 1
+	}
+	ci.cellM = cellM
+	ci.n = 0
+	for k, v := range ci.cells {
+		ci.cells[k] = v[:0]
+	}
+}
+
+// Len returns the number of indexed points.
+func (ci *CellIndex) Len() int { return ci.n }
+
+func (ci *CellIndex) key(p Vec3) cellKey {
+	return cellKey{
+		x: int32(floorDiv(p.X, ci.cellM)),
+		y: int32(floorDiv(p.Y, ci.cellM)),
+		z: int32(floorDiv(p.Z, ci.cellM)),
+	}
+}
+
+func floorDiv(v, cell float64) float64 {
+	q := v / cell
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// Insert adds an id at an ECEF position.
+func (ci *CellIndex) Insert(id int32, p Vec3) {
+	k := ci.key(p)
+	ci.cells[k] = append(ci.cells[k], id)
+	ci.n++
+}
+
+// Near calls visit for every indexed id whose position may lie within
+// one cell edge of p (the 27-cell neighborhood). Visits are
+// deterministic: neighbor cells are scanned in a fixed order and ids
+// within a cell in insertion order. Callers must apply their own
+// exact distance gate — the neighborhood is a superset.
+func (ci *CellIndex) Near(p Vec3, visit func(id int32)) {
+	c := ci.key(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dz := int32(-1); dz <= 1; dz++ {
+				ids := ci.cells[cellKey{c.x + dx, c.y + dy, c.z + dz}]
+				for _, id := range ids {
+					visit(id)
+				}
+			}
+		}
+	}
+}

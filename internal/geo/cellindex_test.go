@@ -1,0 +1,127 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCellIndexNearSuperset is the index's load-bearing guarantee:
+// Near must visit every indexed point within one cell edge of the
+// query (false positives are fine — callers gate on exact distance —
+// false negatives would silently drop candidate links).
+func TestCellIndexNearSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const cell = 100.0
+	ci := NewCellIndex(cell)
+	pts := make([]Vec3, 400)
+	for i := range pts {
+		pts[i] = Vec3{
+			X: -500 + rng.Float64()*1000,
+			Y: -500 + rng.Float64()*1000,
+			Z: -500 + rng.Float64()*1000,
+		}
+		ci.Insert(int32(i), pts[i])
+	}
+	if ci.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", ci.Len(), len(pts))
+	}
+	queries := append([]Vec3{}, pts[:50]...)
+	for i := 0; i < 50; i++ {
+		queries = append(queries, Vec3{
+			X: -600 + rng.Float64()*1200,
+			Y: -600 + rng.Float64()*1200,
+			Z: -600 + rng.Float64()*1200,
+		})
+	}
+	for qi, q := range queries {
+		visited := map[int32]bool{}
+		ci.Near(q, func(id int32) {
+			if visited[id] {
+				t.Fatalf("query %d: id %d visited twice", qi, id)
+			}
+			visited[id] = true
+		})
+		for id, p := range pts {
+			if p.Sub(q).Norm() <= cell && !visited[int32(id)] {
+				t.Errorf("query %d: point %d at %.1f m missed (cell %d m)",
+					qi, id, p.Sub(q).Norm(), int(cell))
+			}
+		}
+	}
+}
+
+// TestCellIndexDeterministicOrder: identical contents must produce an
+// identical visit sequence (the evaluator's output ordering and its
+// parallel slot layout both assume it).
+func TestCellIndexDeterministicOrder(t *testing.T) {
+	build := func() (*CellIndex, []Vec3) {
+		rng := rand.New(rand.NewSource(9))
+		ci := NewCellIndex(50)
+		pts := make([]Vec3, 100)
+		for i := range pts {
+			pts[i] = Vec3{X: rng.Float64() * 300, Y: rng.Float64() * 300, Z: rng.Float64() * 300}
+			ci.Insert(int32(i), pts[i])
+		}
+		return ci, pts
+	}
+	a, pts := build()
+	b, _ := build()
+	for _, q := range pts[:20] {
+		var sa, sb []int32
+		a.Near(q, func(id int32) { sa = append(sa, id) })
+		b.Near(q, func(id int32) { sb = append(sb, id) })
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("visit order differs: %v vs %v", sa, sb)
+		}
+	}
+}
+
+// TestCellIndexResetReuse: Reset must fully empty the index while
+// reusing buckets, including across cell-size changes.
+func TestCellIndexResetReuse(t *testing.T) {
+	ci := NewCellIndex(100)
+	for i := 0; i < 50; i++ {
+		ci.Insert(int32(i), Vec3{X: float64(i) * 30}) // spans several cells
+	}
+	ci.Reset(200)
+	if ci.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", ci.Len())
+	}
+	seen := 0
+	ci.Near(Vec3{}, func(int32) { seen++ })
+	if seen != 0 {
+		t.Fatalf("Reset index still visits %d points", seen)
+	}
+	ci.Insert(7, Vec3{X: 10})
+	found := false
+	ci.Near(Vec3{X: 50}, func(id int32) { found = found || id == 7 })
+	if !found {
+		t.Error("insert after Reset not visible")
+	}
+}
+
+// TestCellIndexNegativeCoordinates: floor division must bucket
+// correctly across the origin (naive int truncation maps -0.5 and
+// +0.5 cells together).
+func TestCellIndexNegativeCoordinates(t *testing.T) {
+	ci := NewCellIndex(100)
+	a := Vec3{X: -30}
+	b := Vec3{X: 30}
+	ci.Insert(0, a)
+	ci.Insert(1, b)
+	got := map[int32]bool{}
+	ci.Near(Vec3{X: -90}, func(id int32) { got[id] = true })
+	if !got[0] || !got[1] {
+		t.Errorf("points straddling the origin must be adjacent: %v", got)
+	}
+	if floorDiv(-1, 100) != -1 {
+		t.Error("floorDiv(-1, 100) must floor to -1, not truncate to 0")
+	}
+	if floorDiv(-100, 100) != -1 {
+		t.Errorf("floorDiv(-100, 100) = %v, want -1", floorDiv(-100, 100))
+	}
+	if floorDiv(99, 100) != 0 {
+		t.Errorf("floorDiv(99, 100) = %v, want 0", floorDiv(99, 100))
+	}
+}

@@ -299,18 +299,30 @@ func GrazingAltitude(a, b LLA) float64 {
 // straight ECEF segment from a to b (inclusive of both endpoints). The
 // weather substrate integrates attenuation along these samples.
 func SampleSegment(a, b LLA, n int) []LLA {
+	return SampleSegmentInto(nil, a, b, n)
+}
+
+// SampleSegmentInto is SampleSegment writing into dst's backing array
+// when it has the capacity, so hot paths (the Link Evaluator samples
+// every candidate path every epoch) can reuse one scratch buffer
+// instead of allocating per call.
+func SampleSegmentInto(dst []LLA, a, b LLA, n int) []LLA {
 	if n < 1 {
 		n = 1
 	}
 	pa := a.ToECEF()
 	pb := b.ToECEF()
 	d := pb.Sub(pa)
-	out := make([]LLA, n+1)
+	if cap(dst) >= n+1 {
+		dst = dst[:n+1]
+	} else {
+		dst = make([]LLA, n+1)
+	}
 	for i := 0; i <= n; i++ {
 		t := float64(i) / float64(n)
-		out[i] = pa.Add(d.Scale(t)).ToLLA()
+		dst[i] = pa.Add(d.Scale(t)).ToLLA()
 	}
-	return out
+	return dst
 }
 
 // WrapAngle normalizes an angle to [0, 2π).

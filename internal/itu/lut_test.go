@@ -1,0 +1,88 @@
+package itu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAttenLUTGaseousErrorBound holds the interpolated gaseous table
+// to the documented bound: relative error under 10⁻³ against the
+// exact P.676 closed form at arbitrary (non-knot) altitudes, and an
+// exact fallback above the table top.
+func TestAttenLUTGaseousErrorBound(t *testing.T) {
+	for _, fGHz := range []float64{72, 82} {
+		l := NewAttenLUT(fGHz, 7.5, Horizontal)
+		for alt := 0.0; alt <= 29000; alt += 37.3 {
+			pr, tk, rho := AtmosphereAt(alt, 7.5)
+			exact := GaseousSpecific(fGHz, pr, tk, rho)
+			got := l.GaseousAt(alt)
+			if exact == 0 {
+				continue
+			}
+			if rel := math.Abs(got-exact) / exact; rel > 1e-3 {
+				t.Fatalf("f=%v alt=%v: gaseous rel error %v > 1e-3 (lut %v exact %v)",
+					fGHz, alt, rel, got, exact)
+			}
+		}
+		// Above the table the exact form must be served verbatim.
+		alt := 31000.0
+		pr, tk, rho := AtmosphereAt(alt, 7.5)
+		if got, exact := l.GaseousAt(alt), GaseousSpecific(fGHz, pr, tk, rho); got != exact {
+			t.Errorf("above-table altitude must use the exact form: %v vs %v", got, exact)
+		}
+	}
+}
+
+// TestAttenLUTCloudErrorBound: same bound for the interpolated cloud
+// coefficient, across altitudes and liquid water contents.
+func TestAttenLUTCloudErrorBound(t *testing.T) {
+	l := NewAttenLUT(72, 7.5, Horizontal)
+	for alt := 0.0; alt <= 12000; alt += 111.1 {
+		_, tk, _ := AtmosphereAt(alt, 7.5)
+		for _, lwc := range []float64{0.05, 0.5, 1.5} {
+			exact := CloudSpecific(72, tk, lwc)
+			got := l.CloudSpecificAt(alt, lwc)
+			if exact == 0 {
+				continue
+			}
+			if rel := math.Abs(got-exact) / exact; rel > 1e-3 {
+				t.Fatalf("alt=%v lwc=%v: cloud rel error %v > 1e-3", alt, lwc, rel)
+			}
+		}
+	}
+	if l.CloudSpecificAt(2000, 0) != 0 {
+		t.Error("zero liquid water content must cost zero attenuation")
+	}
+}
+
+// TestAttenLUTRainBitIdentical: rain memoizes only the P.838
+// coefficient walk; the k·R^α evaluation stays exact, so the LUT must
+// be bit-identical to RainSpecific — the property the evaluator's
+// brute-force equivalence guarantee rests on.
+func TestAttenLUTRainBitIdentical(t *testing.T) {
+	for _, pol := range []Polarization{Horizontal, Vertical} {
+		l := NewAttenLUT(72, 7.5, pol)
+		for rate := 0.01; rate < 150; rate *= 1.7 {
+			if got, exact := l.RainSpecificAt(rate), RainSpecific(72, rate, pol); got != exact {
+				t.Fatalf("pol=%v rate=%v: LUT %v != exact %v (must be bit-identical)",
+					pol, rate, got, exact)
+			}
+		}
+		if l.RainSpecificAt(0) != 0 || l.RainSpecificAt(-1) != 0 {
+			t.Error("non-positive rain rates must cost zero")
+		}
+	}
+}
+
+// TestLUTForCaching: the package cache must return the same table for
+// the same key and distinct tables for distinct keys.
+func TestLUTForCaching(t *testing.T) {
+	a := LUTFor(72, 7.5, Horizontal)
+	b := LUTFor(72, 7.5, Horizontal)
+	if a != b {
+		t.Error("identical keys must share one table")
+	}
+	if c := LUTFor(82, 7.5, Horizontal); c == a {
+		t.Error("distinct frequencies must not share a table")
+	}
+}

@@ -1,0 +1,219 @@
+package linkeval
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"minkowski/internal/geo"
+	"minkowski/internal/itu"
+	"minkowski/internal/platform"
+	"minkowski/internal/weather"
+)
+
+// benchFleet builds the deterministic benchmark fleet at a fidelity
+// scale: 30·scale balloons spread over an area wider than MaxRangeM
+// (so the spatial index has both pruning and dense neighborhoods, as
+// a worldwide Loon fleet would), plus three gateway sites.
+func benchFleet(scale int) []*platform.Transceiver {
+	rng := rand.New(rand.NewSource(1))
+	var xs []*platform.Transceiver
+	gsPos := []geo.LLA{
+		geo.LLADeg(-1.32, 36.83, 1700),
+		geo.LLADeg(-0.09, 34.77, 1200),
+		geo.LLADeg(-0.28, 36.07, 1850),
+	}
+	for i, p := range gsPos {
+		gs := platform.NewGroundStation(fmt.Sprintf("gs-%02d", i), p, nil)
+		xs = append(xs, gs.Xcvrs...)
+	}
+	for i := 0; i < 30*scale; i++ {
+		lat := -6 + 12*rng.Float64()
+		lon := 30 + 14*rng.Float64()
+		n := mkBalloon(fmt.Sprintf("hbal-%03d", i), lat, lon, 17000+3000*rng.Float64())
+		xs = append(xs, n.Xcvrs...)
+	}
+	return xs
+}
+
+func benchEvaluator(incremental bool) *Evaluator {
+	cfg := DefaultConfig()
+	cfg.Incremental = incremental
+	return New(cfg, &gradientRain{}, nil)
+}
+
+// BenchmarkCandidateGraph compares the three evaluation regimes at
+// each fidelity scale:
+//
+//	bruteforce:       the reference O(N²) sweep
+//	incremental-cold: spatial index + shared pair geometry, with the
+//	                  weather epoch bumped every iteration so the
+//	                  evaluation cache never hits (worst case)
+//	incremental-warm: static fleet within one epoch — the cache
+//	                  serves repeats (best case)
+func BenchmarkCandidateGraph(b *testing.B) {
+	for _, scale := range []int{1, 3} {
+		xs := benchFleet(scale)
+		b.Run(fmt.Sprintf("bruteforce/scale%d", scale), func(b *testing.B) {
+			e := benchEvaluator(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.CandidateGraph(xs, 0)
+			}
+			reportPairs(b, e)
+		})
+		b.Run(fmt.Sprintf("incremental-cold/scale%d", scale), func(b *testing.B) {
+			e := benchEvaluator(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.BumpWeatherEpoch()
+				_ = e.CandidateGraph(xs, 0)
+			}
+			reportPairs(b, e)
+		})
+		b.Run(fmt.Sprintf("incremental-warm/scale%d", scale), func(b *testing.B) {
+			e := benchEvaluator(true)
+			_ = e.CandidateGraph(xs, 0) // warm the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.CandidateGraph(xs, 0)
+			}
+			reportPairs(b, e)
+		})
+	}
+}
+
+func reportPairs(b *testing.B, e *Evaluator) {
+	s := e.Stats()
+	if s.Graphs > 0 {
+		b.ReportMetric(float64(s.PairsPossible)/float64(s.Graphs), "pairs/op")
+	}
+	b.ReportMetric(s.HitRate()*100, "cachehit%")
+}
+
+// BenchmarkPathAttenuation compares one 16-sample path integration on
+// the exact ITU closed forms against the memoized LUT path the
+// evaluator uses.
+func BenchmarkPathAttenuation(b *testing.B) {
+	src := &gradientRain{}
+	a := geo.LLADeg(-1.0, 36.5, 18000)
+	c := geo.LLADeg(-0.2, 38.0, 1700)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exactPathAttenuation(src, 72, a, c)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		var scratch []geo.LLA
+		for i := 0; i < b.N; i++ {
+			_, scratch = weather.EstimatePathAttenuationScratch(src, 72, a, c, scratch)
+		}
+	})
+}
+
+// exactPathAttenuation re-derives the full spectroscopy per sample —
+// what EstimatePathAttenuation did before the LUT.
+func exactPathAttenuation(src weather.Source, fGHz float64, a, b geo.LLA) float64 {
+	const samples = 16
+	pts := geo.SampleSegment(a, b, samples)
+	stepKm := geo.SlantRange(a, b) / float64(samples) / 1000
+	total := 0.0
+	for _, p := range pts {
+		pr, tk, rho := itu.AtmosphereAt(p.Alt, weather.SeaLevelVapourDensity)
+		spec := itu.GaseousSpecific(fGHz, pr, tk, rho)
+		if p.Alt < 12000 {
+			if rate, ok := src.EstimateRain(p); ok && rate > 0 {
+				spec += itu.RainSpecific(fGHz, rate, itu.Horizontal)
+				spec += itu.CloudSpecific(fGHz, tk, 0.5*math.Min(rate/20, 1.5))
+			}
+		}
+		total += spec * stepKm
+	}
+	return total
+}
+
+// benchRecord is one scale's row in BENCH_linkeval.json.
+type benchRecord struct {
+	BruteNsOp   float64 `json:"brute_ns_op"`
+	ColdNsOp    float64 `json:"incremental_cold_ns_op"`
+	WarmNsOp    float64 `json:"incremental_warm_ns_op"`
+	PairsPerSec float64 `json:"incremental_pairs_per_s"`
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+	ColdSpeedup float64 `json:"cold_speedup_vs_brute"`
+	WarmSpeedup float64 `json:"warm_speedup_vs_brute"`
+}
+
+// TestWriteBenchJSON measures the benchmark suite and writes the
+// machine-readable summary the CI regression guard consumes
+// (cmd/benchguard). Gated behind BENCH_LINKEVAL_JSON so ordinary test
+// runs stay fast:
+//
+//	BENCH_LINKEVAL_JSON=BENCH_linkeval.json go test -run TestWriteBenchJSON ./internal/linkeval/
+func TestWriteBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_LINKEVAL_JSON")
+	if out == "" {
+		t.Skip("set BENCH_LINKEVAL_JSON=<path> to measure and write the benchmark summary")
+	}
+	summary := map[string]benchRecord{}
+	for _, scale := range []int{1, 3} {
+		xs := benchFleet(scale)
+		brute := testing.Benchmark(func(b *testing.B) {
+			e := benchEvaluator(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.CandidateGraph(xs, 0)
+			}
+		})
+		cold := testing.Benchmark(func(b *testing.B) {
+			e := benchEvaluator(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.BumpWeatherEpoch()
+				_ = e.CandidateGraph(xs, 0)
+			}
+		})
+		warmEval := benchEvaluator(true)
+		_ = warmEval.CandidateGraph(xs, 0)
+		preWarm := warmEval.Stats()
+		warm := testing.Benchmark(func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = warmEval.CandidateGraph(xs, 0)
+			}
+		})
+		warmDelta := warmEval.Stats().Sub(preWarm)
+		// Pairs the brute sweep would have evaluated, per second of
+		// incremental-cold evaluation.
+		pairsPossible := warmDelta.PairsPossible
+		if g := warmDelta.Graphs; g > 0 {
+			pairsPossible /= g
+		}
+		rec := benchRecord{
+			BruteNsOp:   float64(brute.NsPerOp()),
+			ColdNsOp:    float64(cold.NsPerOp()),
+			WarmNsOp:    float64(warm.NsPerOp()),
+			WarmHitRate: warmDelta.HitRate(),
+		}
+		if rec.ColdNsOp > 0 {
+			rec.ColdSpeedup = rec.BruteNsOp / rec.ColdNsOp
+			rec.PairsPerSec = float64(pairsPossible) / (rec.ColdNsOp / 1e9)
+		}
+		if rec.WarmNsOp > 0 {
+			rec.WarmSpeedup = rec.BruteNsOp / rec.WarmNsOp
+		}
+		summary[fmt.Sprintf("scale%d", scale)] = rec
+		t.Logf("scale%d: brute %.2fms cold %.2fms warm %.2fms cold-speedup %.1fx warm-speedup %.1fx hit %.0f%%",
+			scale, rec.BruteNsOp/1e6, rec.ColdNsOp/1e6, rec.WarmNsOp/1e6,
+			rec.ColdSpeedup, rec.WarmSpeedup, rec.WarmHitRate*100)
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

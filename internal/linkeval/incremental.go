@@ -1,0 +1,367 @@
+package linkeval
+
+import (
+	"sort"
+	"sync"
+
+	"minkowski/internal/geo"
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+	"minkowski/internal/weather"
+)
+
+// This file implements the incremental spatially-indexed candidate
+// graph pipeline (DESIGN.md §7). Three layers of work-sharing sit on
+// top of the same staged pipeline EvaluatePair runs:
+//
+//  1. Platforms are predicted once per epoch and bucketed into a
+//     geo.CellIndex with cell edge MaxRangeM, so pair enumeration
+//     walks only the 27-cell neighborhood of each platform instead of
+//     all N² pairs. The exact slant-range gate is kept downstream, so
+//     the index can only remove work, never change the output.
+//  2. Per platform pair, geometry (range, both pointing solutions,
+//     line of sight, path attenuation, budgets per gain pair) is
+//     memoized in a pairGeom shared by the transceiver fan-out.
+//  3. Per link, the previous evaluation is cached and reused while
+//     the weather epoch is unchanged and both endpoints' predicted
+//     positions are within DisplacementEpsM of where the evaluation
+//     was computed (exact equality at the default eps of 0).
+//
+// Bit-identity with the brute-force sweep rests on two invariants:
+//
+//   - Argument orientation: the brute sweep evaluates (xcvrs[i],
+//     xcvrs[j]) with i<j, and pointing / line-of-sight / attenuation
+//     are direction-dependent in their floating-point evaluation.
+//     pairGeom therefore memoizes both orientations separately and
+//     every pair is evaluated with the lower-slice-index transceiver
+//     first, reproducing the reference argument order exactly.
+//   - Emission order: node IDs order their transceiver IDs (the '/'
+//     separating node from transceiver suffix sorts below every
+//     alphanumeric), so walking anchor platforms in ID order, anchor
+//     transceivers sorted, partner platforms sorted, partner
+//     transceivers sorted, emits reports already globally sorted by
+//     (ID.A, ID.B) — no final sort needed. Each pair's result slot is
+//     precomputed from that layout, which also makes the parallel
+//     fan-out race-free: workers write disjoint slots.
+
+// nodeEnt is one platform in the current evaluation epoch.
+type nodeEnt struct {
+	node *platform.Node
+	pos  geo.LLA
+	ecef geo.Vec3
+	xc   []int32 // indices into the xcvrs slice, sorted by transceiver ID
+}
+
+// npTask is one platform pair emitted by the index walk, with the
+// precomputed result-slot layout: the pair (anchor transceiver a,
+// partner transceiver b) lands at base + aIdx·partnerTotal + prefix +
+// bIdx.
+type npTask struct {
+	u, v         int32 // node indices; nodes[u].ID < nodes[v].ID
+	base         int32 // slot base of anchor u's whole span
+	prefix       int32 // partner-transceiver prefix of v within u's span
+	partnerTotal int32 // total partner transceivers across all of u's tasks
+}
+
+// cacheEntry is one cached link evaluation. pA/pB are the predicted
+// endpoint positions it was computed at, keyed to the link ID's A and
+// B sides; rep == nil records an evaluated-infeasible pair so
+// negatives are cached too.
+type cacheEntry struct {
+	pA, pB geo.LLA
+	lead   float64
+	epoch  uint64
+	// vol is the attenuation volume the evaluation used (nil = Source
+	// integration); swapping the evaluator's Volume invalidates.
+	vol *weather.Volume
+	rep *Report
+}
+
+type cacheUpdate struct {
+	id  radio.LinkID
+	ent cacheEntry
+}
+
+// workerState is per-worker reusable state: evaluation scratch plus
+// the cache updates collected during the parallel fan-out and
+// committed serially afterwards.
+type workerState struct {
+	scratch evalScratch
+	updates []cacheUpdate
+}
+
+type bfPair struct{ a, b int32 }
+
+// graphScratch holds every reusable buffer of the evaluator, so
+// steady-state graph computation allocates only the reports that
+// escape into the output.
+type graphScratch struct {
+	bfPairs  []bfPair
+	results  []*Report
+	nodes    []nodeEnt
+	nodeIdx  map[*platform.Node]int32
+	order    []int32
+	index    *geo.CellIndex
+	partners []int32
+	tasks    []npTask
+	workers  []workerState
+	// lastPurgeEpoch tracks when stale cache entries were last swept.
+	lastPurgeEpoch uint64
+}
+
+func (e *Evaluator) ensureWorkers(n int) {
+	for len(e.scr.workers) < n {
+		e.scr.workers = append(e.scr.workers, workerState{})
+	}
+}
+
+func (e *Evaluator) resizeResults(n int) []*Report {
+	if cap(e.scr.results) < n {
+		e.scr.results = make([]*Report, n)
+	}
+	e.scr.results = e.scr.results[:n]
+	for i := range e.scr.results {
+		e.scr.results[i] = nil
+	}
+	return e.scr.results
+}
+
+// incrementalGraph is the spatially-indexed incremental pipeline.
+// posOf optionally overrides position prediction (Horizon shares a
+// per-node position table across leads through it); nil predicts via
+// e.Predict.
+func (e *Evaluator) incrementalGraph(xcvrs []*platform.Transceiver, lead float64, posOf func(*platform.Node) geo.LLA) []*Report {
+	scr := &e.scr
+	e.stats.Graphs++
+	e.evalSeq++
+
+	// Sweep cache entries from dead epochs: they can never hit again.
+	if scr.lastPurgeEpoch != e.weatherEpoch {
+		for id, ent := range e.cache {
+			if ent.epoch != e.weatherEpoch {
+				delete(e.cache, id)
+			}
+		}
+		scr.lastPurgeEpoch = e.weatherEpoch
+	}
+
+	// --- Group transceivers by platform, predict once per platform.
+	if scr.nodeIdx == nil {
+		scr.nodeIdx = make(map[*platform.Node]int32, 64)
+	}
+	clear(scr.nodeIdx)
+	scr.nodes = scr.nodes[:0]
+	for i, x := range xcvrs {
+		idx, ok := scr.nodeIdx[x.Node]
+		if !ok {
+			idx = int32(len(scr.nodes))
+			if cap(scr.nodes) > len(scr.nodes) {
+				scr.nodes = scr.nodes[:idx+1]
+				scr.nodes[idx].node = x.Node
+				scr.nodes[idx].xc = scr.nodes[idx].xc[:0]
+			} else {
+				scr.nodes = append(scr.nodes, nodeEnt{node: x.Node})
+			}
+			scr.nodeIdx[x.Node] = idx
+		}
+		scr.nodes[idx].xc = append(scr.nodes[idx].xc, int32(i))
+	}
+	nodes := scr.nodes
+	sumSq := 0
+	for i := range nodes {
+		n := &nodes[i]
+		xc := n.xc
+		sort.Slice(xc, func(a, b int) bool { return xcvrs[xc[a]].ID < xcvrs[xc[b]].ID })
+		if posOf != nil {
+			n.pos = posOf(n.node)
+		} else {
+			n.pos = e.Predict(n.node, lead)
+		}
+		n.ecef = n.pos.ToECEF()
+		sumSq += len(xc) * len(xc)
+	}
+	possible := (len(xcvrs)*len(xcvrs) - sumSq) / 2
+	e.stats.PairsPossible += uint64(possible)
+
+	// --- Spatial index over platforms.
+	if scr.index == nil {
+		scr.index = geo.NewCellIndex(e.cfg.MaxRangeM)
+	} else {
+		scr.index.Reset(e.cfg.MaxRangeM)
+	}
+	for i := range nodes {
+		scr.index.Insert(int32(i), nodes[i].ecef)
+	}
+
+	// Anchor platforms in node-ID order.
+	order := scr.order[:0]
+	for i := range nodes {
+		order = append(order, int32(i))
+	}
+	sort.Slice(order, func(a, b int) bool { return nodes[order[a]].node.ID < nodes[order[b]].node.ID })
+	scr.order = order
+
+	// --- Enumerate near pairs, laying out result slots in emission
+	// order so the graph comes out sorted with no final sort.
+	tasks := scr.tasks[:0]
+	enumerated := 0
+	slotBase := int32(0)
+	for _, u := range order {
+		ue := &nodes[u]
+		partners := scr.partners[:0]
+		scr.index.Near(ue.ecef, func(v int32) {
+			if nodes[v].node.ID > ue.node.ID {
+				partners = append(partners, v)
+			}
+		})
+		sort.Slice(partners, func(a, b int) bool { return nodes[partners[a]].node.ID < nodes[partners[b]].node.ID })
+		scr.partners = partners
+		partnerTotal := int32(0)
+		for _, v := range partners {
+			partnerTotal += int32(len(nodes[v].xc))
+		}
+		prefix := int32(0)
+		for _, v := range partners {
+			tasks = append(tasks, npTask{u: u, v: v, base: slotBase, prefix: prefix, partnerTotal: partnerTotal})
+			prefix += int32(len(nodes[v].xc))
+			enumerated += len(ue.xc) * len(nodes[v].xc)
+		}
+		slotBase += int32(len(ue.xc)) * partnerTotal
+	}
+	scr.tasks = tasks
+	e.stats.PairsEnumerated += uint64(enumerated)
+	e.stats.PairsPruned += uint64(possible - enumerated)
+
+	results := e.resizeResults(int(slotBase))
+
+	// --- Parallel fan-out over platform-pair tasks. Workers write
+	// disjoint result slots and collect cache updates locally; updates
+	// and stats are committed serially after the join.
+	workers := e.workerCount(len(tasks))
+	e.ensureWorkers(workers)
+	if workers <= 1 {
+		st := &scr.workers[0]
+		for _, t := range tasks {
+			e.runTask(t, lead, st, xcvrs)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(tasks) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi, w int) {
+				defer wg.Done()
+				st := &e.scr.workers[w]
+				for k := lo; k < hi; k++ {
+					e.runTask(tasks[k], lead, st, xcvrs)
+				}
+			}(lo, hi, w)
+		}
+		wg.Wait()
+	}
+	for w := 0; w < workers; w++ {
+		st := &scr.workers[w]
+		for _, up := range st.updates {
+			e.cache[up.id] = up.ent
+		}
+		st.updates = st.updates[:0]
+		e.stats.RangePruned += st.scratch.stats.RangePruned
+		e.stats.CacheHits += st.scratch.stats.CacheHits
+		e.stats.ReEvals += st.scratch.stats.ReEvals
+		st.scratch.stats = Stats{}
+	}
+
+	// --- Emit: slots are already in (ID.A, ID.B) order.
+	n := 0
+	for _, r := range results {
+		if r != nil {
+			n++
+		}
+	}
+	out := make([]*Report, 0, n)
+	for _, r := range results {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// cacheHit reports whether a cached entry may serve the pair at the
+// current epoch and positions.
+func (e *Evaluator) cacheHit(ent *cacheEntry, uPos, vPos geo.LLA, lead float64) bool {
+	if ent.epoch != e.weatherEpoch || ent.vol != e.Volume {
+		return false
+	}
+	// Volume attenuation interpolates over lead time, so cached
+	// values are lead-specific; Source-backed estimation is not.
+	if e.Volume != nil && ent.lead != lead {
+		return false
+	}
+	if eps := e.cfg.DisplacementEpsM; eps > 0 {
+		return geo.SlantRange(ent.pA, uPos) <= eps && geo.SlantRange(ent.pB, vPos) <= eps
+	}
+	return ent.pA == uPos && ent.pB == vPos
+}
+
+// runTask evaluates every transceiver pair of one platform pair.
+func (e *Evaluator) runTask(t npTask, lead float64, st *workerState, xcvrs []*platform.Transceiver) {
+	ue := &e.scr.nodes[t.u]
+	ve := &e.scr.nodes[t.v]
+	results := e.scr.results
+	// Exact range gate; bitwise equal to geo.SlantRange on the same
+	// predicted positions (negating a difference vector does not
+	// change its norm).
+	dist := ve.ecef.Sub(ue.ecef).Norm()
+	if dist > e.cfg.MaxRangeM {
+		st.scratch.stats.RangePruned += uint64(len(ue.xc) * len(ve.xc))
+		return
+	}
+	g := pairGeom{posA: ue.pos, posB: ve.pos, dist: dist}
+	for ai, xai := range ue.xc {
+		for bi, xbi := range ve.xc {
+			slot := t.base + int32(ai)*t.partnerTotal + t.prefix + int32(bi)
+			// Reproduce the brute-force argument order: the
+			// lower-slice-index transceiver leads.
+			a, b, orient := xai, xbi, 0
+			if xbi < xai {
+				a, b, orient = xbi, xai, 1
+			}
+			xa, xb := xcvrs[a], xcvrs[b]
+			id := radio.MakeLinkID(xa.ID, xb.ID)
+			if ent, ok := e.cache[id]; ok && e.cacheHit(&ent, ue.pos, ve.pos, lead) {
+				st.scratch.stats.CacheHits++
+				rep := ent.rep
+				if rep != nil && rep.Lead != lead {
+					// Cross-lead reuse (Volume nil): clone with the
+					// lead restamped; all other fields are
+					// lead-independent.
+					nr := st.scratch.newReport()
+					*nr = *rep
+					nr.Lead = lead
+					rep = nr
+				}
+				results[slot] = rep
+				continue
+			}
+			rep, _, _ := e.evalStaged(xa, xb, lead, &g, orient, &st.scratch)
+			st.scratch.stats.ReEvals++
+			results[slot] = rep
+			// ID.A is always the anchor (lower node ID) side: the '/'
+			// separator sorts below alphanumerics, so node-ID order
+			// implies transceiver-ID order.
+			st.updates = append(st.updates, cacheUpdate{id: id, ent: cacheEntry{
+				pA: ue.pos, pB: ve.pos, lead: lead, epoch: e.weatherEpoch,
+				vol: e.Volume, rep: rep,
+			}})
+		}
+	}
+}

@@ -10,6 +10,23 @@
 // the acceptable margin as "marginal". The output — the candidate
 // graph — is the solver's main input and the subject of Fig. 4's
 // churn analysis.
+//
+// Two evaluation pipelines produce the graph:
+//
+//   - The reference brute-force sweep evaluates every cross-platform
+//     pair from scratch (the paper's "all pairs of transceivers").
+//   - The default incremental pipeline (DESIGN.md §7) buckets
+//     platforms in a geographic cell index so only pairs within
+//     plausible range are enumerated, shares per-platform-pair
+//     geometry and attenuation across the transceiver fan-out, and
+//     reuses cached per-link evaluations until an endpoint moves
+//     beyond a displacement epsilon or the weather epoch advances.
+//
+// With the default exact settings (DisplacementEpsM = 0) the two
+// pipelines are bit-identical — the equivalence property tests prove
+// it under randomized wind — so every figure keeps its shape while
+// the hot path drops the redundant work Fig. 4 shows dominates
+// (candidate graphs change only a few percent hour to hour).
 package linkeval
 
 import (
@@ -27,7 +44,9 @@ import (
 // PositionPredictor returns a node's estimated position at a lead
 // time (seconds into the future). The core controller wires this to
 // the FMS's trajectory predictions; lead 0 must return the current
-// (GPS-reported) position.
+// (GPS-reported) position. Predictions must be deterministic: the
+// evaluator predicts once per platform per epoch and shares the
+// result across every pair the platform participates in.
 type PositionPredictor func(n *platform.Node, lead float64) geo.LLA
 
 // CurrentPositions is the trivial predictor: nodes frozen at their
@@ -64,7 +83,8 @@ type Config struct {
 	// "marginal".
 	AcceptableMarginDB float64
 	// MaxRangeM hard-prunes pairs beyond plausible budget closure to
-	// save computation.
+	// save computation. It is also the cell size of the incremental
+	// pipeline's geographic index.
 	MaxRangeM float64
 	// Channel is the representative channel used for evaluation (the
 	// solver assigns concrete channels later).
@@ -82,6 +102,20 @@ type Config struct {
 	// confidence in forming the selected links", visible as the
 	// +4.3 dB right-shift of Fig. 10.
 	PessimismDB float64
+	// Incremental enables the spatially-indexed incremental pipeline
+	// (cell index, shared platform-pair geometry, evaluation cache).
+	// Disabled, CandidateGraph falls back to the reference
+	// brute-force O(N²) sweep.
+	Incremental bool
+	// DisplacementEpsM is the cache-invalidation displacement
+	// epsilon: a cached pair evaluation is reused while both
+	// endpoints' predicted positions stay within this many meters of
+	// the positions it was computed at AND the weather epoch is
+	// unchanged. 0 requires exact position equality, which keeps the
+	// incremental pipeline bit-identical to brute force; positive
+	// values trade bounded staleness for cache hits on slowly
+	// drifting fleets.
+	DisplacementEpsM float64
 }
 
 // DefaultConfig returns the evaluation policy used in production
@@ -93,10 +127,61 @@ func DefaultConfig() Config {
 		Channel:            rf.EBandChannels()[0],
 		Parallelism:        0,
 		PessimismDB:        4.3,
+		Incremental:        true,
+		DisplacementEpsM:   0,
 	}
 }
 
-// Evaluator computes candidate graphs.
+// Stats counts evaluator work since construction (cumulative). The
+// controller surfaces the per-cycle deltas through its solve-cycle
+// telemetry.
+type Stats struct {
+	// Graphs is the number of CandidateGraph evaluations.
+	Graphs uint64
+	// PairsPossible is the cross-platform transceiver pairs the
+	// brute-force sweep would have evaluated.
+	PairsPossible uint64
+	// PairsEnumerated is the pairs actually emitted by the spatial
+	// index walk (incremental) or the full sweep (brute force).
+	PairsEnumerated uint64
+	// PairsPruned is PairsPossible − PairsEnumerated: pairs the cell
+	// index proved out of range without touching them.
+	PairsPruned uint64
+	// RangePruned counts enumerated pairs gated by the exact slant
+	// range check (the index neighborhood is a superset).
+	RangePruned uint64
+	// CacheHits counts pair evaluations served from the cache.
+	CacheHits uint64
+	// ReEvals counts pair evaluations actually recomputed.
+	ReEvals uint64
+}
+
+// Sub returns s − o field-wise (for per-cycle deltas).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Graphs:          s.Graphs - o.Graphs,
+		PairsPossible:   s.PairsPossible - o.PairsPossible,
+		PairsEnumerated: s.PairsEnumerated - o.PairsEnumerated,
+		PairsPruned:     s.PairsPruned - o.PairsPruned,
+		RangePruned:     s.RangePruned - o.RangePruned,
+		CacheHits:       s.CacheHits - o.CacheHits,
+		ReEvals:         s.ReEvals - o.ReEvals,
+	}
+}
+
+// HitRate returns the cache hit fraction of all enumerated-and-in-
+// range evaluations, in [0,1].
+func (s Stats) HitRate() float64 {
+	den := s.CacheHits + s.ReEvals
+	if den == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(den)
+}
+
+// Evaluator computes candidate graphs. It is not safe for concurrent
+// CandidateGraph/Horizon calls (internal scratch and cache are
+// reused); the per-call evaluation fan-out is parallel internally.
 type Evaluator struct {
 	cfg Config
 	// Weather is the TS-SDN's *estimated* moisture model (fused
@@ -107,6 +192,16 @@ type Evaluator struct {
 	Volume *weather.Volume
 	// Predict supplies positions at future leads.
 	Predict PositionPredictor
+	// PredictBatch optionally serves every horizon lead for one node
+	// in a single call (e.g. one frozen-field FMS trajectory sweep);
+	// Horizon uses it when set instead of one Predict call per lead.
+	PredictBatch func(n *platform.Node, leads []float64) []geo.LLA
+
+	weatherEpoch uint64
+	evalSeq      uint64
+	cache        map[radio.LinkID]cacheEntry
+	stats        Stats
+	scr          graphScratch
 }
 
 // New creates an evaluator.
@@ -114,7 +209,107 @@ func New(cfg Config, wx weather.Source, predict PositionPredictor) *Evaluator {
 	if predict == nil {
 		predict = CurrentPositions
 	}
-	return &Evaluator{cfg: cfg, Weather: wx, Predict: predict}
+	return &Evaluator{
+		cfg: cfg, Weather: wx, Predict: predict,
+		cache: map[radio.LinkID]cacheEntry{},
+	}
+}
+
+// Config returns the evaluation policy.
+func (e *Evaluator) Config() Config { return e.cfg }
+
+// WeatherEpoch returns the current weather-model epoch.
+func (e *Evaluator) WeatherEpoch() uint64 { return e.weatherEpoch }
+
+// BumpWeatherEpoch advances the weather-model epoch, invalidating
+// every cached pair evaluation. The owner must call it whenever the
+// estimated weather may have changed: new gauge samples, a fresh
+// forecast, a fusion rebuild, a degraded-mode flip, or simulation
+// time advancing while any time-varying source (an advecting
+// forecast) is live.
+func (e *Evaluator) BumpWeatherEpoch() { e.weatherEpoch++ }
+
+// Stats returns the cumulative work counters.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// CacheLen returns the number of cached pair evaluations (telemetry).
+func (e *Evaluator) CacheLen() int { return len(e.cache) }
+
+// --- Shared staged pipeline -----------------------------------------
+
+// Stage identifies the first check a candidate pair failed; StageOK
+// means a report was produced. EvaluatePair, Reject, and the
+// incremental pipeline all run this one pipeline so accept and
+// explain paths can never drift apart.
+type Stage int
+
+const (
+	// StageOK produced a report.
+	StageOK Stage = iota
+	// StageSamePlatform pairs two transceivers on one node.
+	StageSamePlatform
+	// StageRange is beyond MaxRangeM.
+	StageRange
+	// StagePointA: the first transceiver cannot point at the second.
+	StagePointA
+	// StagePointB: the second transceiver cannot point back.
+	StagePointB
+	// StageLOS: the Earth obstructs the path.
+	StageLOS
+	// StageBudget: the link budget does not close acceptably.
+	StageBudget
+	// StageMarginalDropped: closed marginal but DropMarginal is set.
+	StageMarginalDropped
+)
+
+// pairGeom memoizes the platform-pair-level geometry shared by every
+// transceiver pair between two nodes: slant range, both pointing
+// solutions, line-of-sight, path attenuation, and link budgets per
+// distinct gain pair. Orientation slot 0 evaluates A→B argument
+// order, slot 1 B→A, so memoized values are bit-identical to the
+// standalone per-pair computation regardless of which transceiver
+// leads.
+type pairGeom struct {
+	posA, posB geo.LLA
+	dist       float64
+	ptDone     bool
+	ptAB, ptBA geo.Pointing // pointing from A at B, and from B at A
+	los        [2]int8      // 0 unknown, +1 clear, −1 blocked
+	atmosOK    [2]bool
+	atmos      [2]float64
+	budgets    []budgetMemo
+}
+
+// budgetMemo caches one BestBudget result per (orientation, gain
+// pair, radio) — transceivers on a platform usually share identical
+// radios and antenna patterns, collapsing the 3×3 pair fan-out to a
+// single budget computation.
+type budgetMemo struct {
+	orient       int
+	peakA, peakB float64
+	noiseFigure  float64
+	txPowers     []float64
+	budget       rf.Budget
+	class        rf.MarginClass
+}
+
+// evalScratch is per-worker reusable state: the path-sample buffer
+// and a bump-allocated report chunk (reports escape into graphs and
+// the cache, so chunks are never recycled — they only amortize
+// allocation count).
+type evalScratch struct {
+	pts    []geo.LLA
+	repBuf []Report
+	stats  Stats
+}
+
+func (s *evalScratch) newReport() *Report {
+	if len(s.repBuf) == 0 {
+		s.repBuf = make([]Report, 64)
+	}
+	r := &s.repBuf[0]
+	s.repBuf = s.repBuf[1:]
+	return r
 }
 
 // pathAttenuation returns the modelled moisture+gas attenuation for a
@@ -126,105 +321,223 @@ func (e *Evaluator) pathAttenuation(a, b geo.LLA, lead float64) float64 {
 	return weather.EstimatePathAttenuation(e.Weather, e.cfg.Channel.CenterGHz, a, b)
 }
 
+func (e *Evaluator) pathAttenuationScratch(a, b geo.LLA, lead float64, s *evalScratch) float64 {
+	var att float64
+	if e.Volume != nil {
+		att, s.pts = e.Volume.PathAttenuationScratch(e.cfg.Channel.CenterGHz, a, b, lead, s.pts)
+	} else {
+		att, s.pts = weather.EstimatePathAttenuationScratch(e.Weather, e.cfg.Channel.CenterGHz, a, b, s.pts)
+	}
+	return att
+}
+
+func radioEqual(a, b rf.Radio) bool {
+	if a.NoiseFigureDB != b.NoiseFigureDB || len(a.TxPowersDBm) != len(b.TxPowersDBm) {
+		return false
+	}
+	for i := range a.TxPowersDBm {
+		if a.TxPowersDBm[i] != b.TxPowersDBm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalStaged runs the staged feasibility pipeline for one oriented
+// transceiver pair. orient selects which geom side xa sits on (0: xa
+// at posA). geom memoizes platform-pair work; a fresh geom per call
+// reproduces the standalone evaluation exactly. The returned detail
+// carries the blocking occlusion label for the pointing stages.
+func (e *Evaluator) evalStaged(xa, xb *platform.Transceiver, lead float64, g *pairGeom, orient int, s *evalScratch) (*Report, Stage, string) {
+	if g.dist > e.cfg.MaxRangeM {
+		return nil, StageRange, ""
+	}
+	if !g.ptDone {
+		g.ptAB = geo.PointingTo(g.posA, g.posB)
+		g.ptBA = geo.PointingTo(g.posB, g.posA)
+		g.ptDone = true
+	}
+	pa, pb := g.ptAB, g.ptBA
+	if orient == 1 {
+		pa, pb = g.ptBA, g.ptAB
+	}
+	// The evaluator plans with the TS-SDN's obstruction *model*, not
+	// the physical truth — stale masks produce surprise failures.
+	if ok, why := xa.Mount.CanPointModel(pa); !ok {
+		return nil, StagePointA, why
+	}
+	if ok, why := xb.Mount.CanPointModel(pb); !ok {
+		return nil, StagePointB, why
+	}
+	if g.los[orient] == 0 {
+		losA, losB := g.posA, g.posB
+		if orient == 1 {
+			losA, losB = g.posB, g.posA
+		}
+		if geo.LineOfSight(losA, losB, 0) {
+			g.los[orient] = 1
+		} else {
+			g.los[orient] = -1
+		}
+	}
+	if g.los[orient] < 0 {
+		return nil, StageLOS, ""
+	}
+	if !g.atmosOK[orient] {
+		atA, atB := g.posA, g.posB
+		if orient == 1 {
+			atA, atB = g.posB, g.posA
+		}
+		if s != nil {
+			g.atmos[orient] = e.pathAttenuationScratch(atA, atB, lead, s)
+		} else {
+			g.atmos[orient] = e.pathAttenuation(atA, atB, lead)
+		}
+		g.atmosOK[orient] = true
+	}
+	atmos := g.atmos[orient] + e.cfg.PessimismDB
+	peakA, peakB := xa.Mount.Pattern.PeakDBi, xb.Mount.Pattern.PeakDBi
+	var budget rf.Budget
+	var class rf.MarginClass
+	memoHit := false
+	for i := range g.budgets {
+		m := &g.budgets[i]
+		if m.orient == orient && m.peakA == peakA && m.peakB == peakB &&
+			m.noiseFigure == xa.Radio.NoiseFigureDB && floatsEqual(m.txPowers, xa.Radio.TxPowersDBm) {
+			budget, class = m.budget, m.class
+			memoHit = true
+			break
+		}
+	}
+	if !memoHit {
+		budget = rf.BestBudget(xa.Radio, e.cfg.Channel, peakA, peakB, g.dist, atmos, 1.0)
+		class = rf.Classify(budget, e.cfg.AcceptableMarginDB)
+		g.budgets = append(g.budgets, budgetMemo{
+			orient: orient, peakA: peakA, peakB: peakB,
+			noiseFigure: xa.Radio.NoiseFigureDB, txPowers: xa.Radio.TxPowersDBm,
+			budget: budget, class: class,
+		})
+	}
+	if class == rf.Unusable {
+		return nil, StageBudget, ""
+	}
+	if class == rf.Marginal && e.cfg.DropMarginal {
+		return nil, StageMarginalDropped, ""
+	}
+	var rep *Report
+	if s != nil {
+		rep = s.newReport()
+	} else {
+		rep = &Report{}
+	}
+	*rep = Report{
+		ID: radio.MakeLinkID(xa.ID, xb.ID), XA: xa, XB: xb,
+		Lead: lead, Budget: budget, Class: class,
+		DistM: g.dist, AtmosDB: atmos,
+		B2G: xa.Node.Kind == platform.KindGround || xb.Node.Kind == platform.KindGround,
+	}
+	return rep, StageOK, ""
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// freshGeom builds a single-pair geometry for a standalone staged
+// evaluation.
+func (e *Evaluator) freshGeom(xa, xb *platform.Transceiver, lead float64) pairGeom {
+	posA := e.Predict(xa.Node, lead)
+	posB := e.Predict(xb.Node, lead)
+	return pairGeom{posA: posA, posB: posB, dist: geo.SlantRange(posA, posB)}
+}
+
 // EvaluatePair produces a report for one transceiver pair at a lead,
 // or nil if the pair is geometrically infeasible or out of range.
 func (e *Evaluator) EvaluatePair(xa, xb *platform.Transceiver, lead float64) *Report {
+	return e.evaluatePairScratch(xa, xb, lead, nil)
+}
+
+func (e *Evaluator) evaluatePairScratch(xa, xb *platform.Transceiver, lead float64, s *evalScratch) *Report {
 	if xa.Node == xb.Node {
 		return nil
 	}
-	posA := e.Predict(xa.Node, lead)
-	posB := e.Predict(xb.Node, lead)
-	dist := geo.SlantRange(posA, posB)
-	if dist > e.cfg.MaxRangeM {
-		return nil
-	}
-	pa := geo.PointingTo(posA, posB)
-	pb := geo.PointingTo(posB, posA)
-	// The evaluator plans with the TS-SDN's obstruction *model*, not
-	// the physical truth — stale masks produce surprise failures.
-	if ok, _ := xa.Mount.CanPointModel(pa); !ok {
-		return nil
-	}
-	if ok, _ := xb.Mount.CanPointModel(pb); !ok {
-		return nil
-	}
-	if !geo.LineOfSight(posA, posB, 0) {
-		return nil
-	}
-	atmos := e.pathAttenuation(posA, posB, lead) + e.cfg.PessimismDB
-	budget := rf.BestBudget(xa.Radio, e.cfg.Channel,
-		xa.Mount.Pattern.PeakDBi, xb.Mount.Pattern.PeakDBi,
-		dist, atmos, 1.0)
-	class := rf.Classify(budget, e.cfg.AcceptableMarginDB)
-	if class == rf.Unusable {
-		return nil
-	}
-	if class == rf.Marginal && e.cfg.DropMarginal {
-		return nil
-	}
-	return &Report{
-		ID: radio.MakeLinkID(xa.ID, xb.ID), XA: xa, XB: xb,
-		Lead: lead, Budget: budget, Class: class,
-		DistM: dist, AtmosDB: atmos,
-		B2G: xa.Node.Kind == platform.KindGround || xb.Node.Kind == platform.KindGround,
-	}
+	g := e.freshGeom(xa, xb, lead)
+	rep, _, _ := e.evalStaged(xa, xb, lead, &g, 0, s)
+	return rep
 }
 
 // Reject explains why a pair is not a candidate (the §6 "why not"
-// input). It mirrors EvaluatePair but returns a human-readable reason
-// when the pair is rejected, or ok=true with the report.
+// input): the failing stage's human-readable reason, or ok with the
+// report. It runs the same staged pipeline as EvaluatePair exactly
+// once (the accept path is not re-evaluated).
 func (e *Evaluator) Reject(xa, xb *platform.Transceiver, lead float64) (reason string, rep *Report) {
 	if xa.Node == xb.Node {
 		return "same platform", nil
 	}
-	posA := e.Predict(xa.Node, lead)
-	posB := e.Predict(xb.Node, lead)
-	dist := geo.SlantRange(posA, posB)
-	if dist > e.cfg.MaxRangeM {
+	g := e.freshGeom(xa, xb, lead)
+	rep, stage, detail := e.evalStaged(xa, xb, lead, &g, 0, nil)
+	switch stage {
+	case StageOK:
+		return "", rep
+	case StageRange:
 		return "beyond maximum range", nil
-	}
-	pa := geo.PointingTo(posA, posB)
-	pb := geo.PointingTo(posB, posA)
-	if ok, why := xa.Mount.CanPointModel(pa); !ok {
-		return xa.ID + " cannot point: blocked by " + why, nil
-	}
-	if ok, why := xb.Mount.CanPointModel(pb); !ok {
-		return xb.ID + " cannot point: blocked by " + why, nil
-	}
-	if !geo.LineOfSight(posA, posB, 0) {
+	case StagePointA:
+		return xa.ID + " cannot point: blocked by " + detail, nil
+	case StagePointB:
+		return xb.ID + " cannot point: blocked by " + detail, nil
+	case StageLOS:
 		return "no line of sight (Earth obstruction)", nil
-	}
-	rep = e.EvaluatePair(xa, xb, lead)
-	if rep == nil {
+	default: // StageBudget, StageMarginalDropped
 		return "link budget does not close (insufficient margin)", nil
 	}
-	return "", rep
 }
 
 // CandidateGraph evaluates all cross-platform transceiver pairs at a
-// lead time and returns the feasible candidates sorted by ID. The
-// work fans out across Parallelism goroutines.
+// lead time and returns the feasible candidates sorted by ID. With
+// Config.Incremental (the default) the spatially-indexed incremental
+// pipeline runs; otherwise the reference brute-force sweep. The work
+// fans out across Parallelism goroutines either way.
 func (e *Evaluator) CandidateGraph(xcvrs []*platform.Transceiver, lead float64) []*Report {
-	type pair struct{ a, b int }
-	var pairs []pair
+	if e.cfg.Incremental {
+		return e.incrementalGraph(xcvrs, lead, nil)
+	}
+	return e.bruteForceGraph(xcvrs, lead)
+}
+
+// bruteForceGraph is the reference O(N²) sweep: every cross-platform
+// pair evaluated from scratch, results sorted by ID. It reuses the
+// evaluator's pair/result scratch buffers but shares no geometry and
+// consults no cache — the equivalence tests hold the incremental
+// pipeline to this output bit for bit.
+func (e *Evaluator) bruteForceGraph(xcvrs []*platform.Transceiver, lead float64) []*Report {
+	pairs := e.scr.bfPairs[:0]
 	for i := 0; i < len(xcvrs); i++ {
 		for j := i + 1; j < len(xcvrs); j++ {
 			if xcvrs[i].Node != xcvrs[j].Node {
-				pairs = append(pairs, pair{i, j})
+				pairs = append(pairs, bfPair{int32(i), int32(j)})
 			}
 		}
 	}
-	workers := e.cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	results := make([]*Report, len(pairs))
+	e.scr.bfPairs = pairs
+	e.stats.Graphs++
+	e.stats.PairsPossible += uint64(len(pairs))
+	e.stats.PairsEnumerated += uint64(len(pairs))
+	e.stats.ReEvals += uint64(len(pairs))
+	results := e.resizeResults(len(pairs))
+	workers := e.workerCount(len(pairs))
+	e.ensureWorkers(workers)
 	if workers <= 1 {
+		s := &e.scr.workers[0].scratch
 		for k, p := range pairs {
-			results[k] = e.EvaluatePair(xcvrs[p.a], xcvrs[p.b], lead)
+			results[k] = e.evaluatePairScratch(xcvrs[p.a], xcvrs[p.b], lead, s)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -239,17 +552,24 @@ func (e *Evaluator) CandidateGraph(xcvrs []*platform.Transceiver, lead float64) 
 				break
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(lo, hi, w int) {
 				defer wg.Done()
+				s := &e.scr.workers[w].scratch
 				for k := lo; k < hi; k++ {
 					p := pairs[k]
-					results[k] = e.EvaluatePair(xcvrs[p.a], xcvrs[p.b], lead)
+					results[k] = e.evaluatePairScratch(xcvrs[p.a], xcvrs[p.b], lead, s)
 				}
-			}(lo, hi)
+			}(lo, hi, w)
 		}
 		wg.Wait()
 	}
-	out := results[:0]
+	n := 0
+	for _, r := range results {
+		if r != nil {
+			n++
+		}
+	}
+	out := make([]*Report, 0, n)
 	for _, r := range results {
 		if r != nil {
 			out = append(out, r)
@@ -264,13 +584,58 @@ func (e *Evaluator) CandidateGraph(xcvrs []*platform.Transceiver, lead float64) 
 	return out
 }
 
+func (e *Evaluator) workerCount(items int) int {
+	workers := e.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // Horizon evaluates the candidate graph at each lead in leads,
 // returning one graph per time step (the "multiple time steps in the
-// future, up to a configurable time horizon").
+// future, up to a configurable time horizon"). Positions are
+// predicted once per platform per lead — batched through
+// PredictBatch when set, e.g. one FMS trajectory sweep per platform
+// for the whole horizon — and shared across every pair, instead of
+// re-predicting per pair.
 func (e *Evaluator) Horizon(xcvrs []*platform.Transceiver, leads []float64) [][]*Report {
 	out := make([][]*Report, len(leads))
+	if !e.cfg.Incremental {
+		for i, lead := range leads {
+			out[i] = e.bruteForceGraph(xcvrs, lead)
+		}
+		return out
+	}
+	// Per-node position table across the whole horizon.
+	posTab := make(map[*platform.Node][]geo.LLA, len(xcvrs))
+	for _, x := range xcvrs {
+		if _, ok := posTab[x.Node]; ok {
+			continue
+		}
+		var ps []geo.LLA
+		if e.PredictBatch != nil {
+			ps = e.PredictBatch(x.Node, leads)
+		}
+		if len(ps) != len(leads) {
+			ps = make([]geo.LLA, len(leads))
+			for i, lead := range leads {
+				ps[i] = e.Predict(x.Node, lead)
+			}
+		}
+		posTab[x.Node] = ps
+	}
 	for i, lead := range leads {
-		out[i] = e.CandidateGraph(xcvrs, lead)
+		idx := i
+		out[i] = e.incrementalGraph(xcvrs, lead, func(n *platform.Node) geo.LLA {
+			return posTab[n][idx]
+		})
 	}
 	return out
 }

@@ -146,17 +146,25 @@ func (v *Volume) At(p geo.LLA, lead float64) float64 {
 // PathAttenuation integrates the interpolated specific attenuation
 // along a straight path at a lead time, adding the gaseous baseline.
 func (v *Volume) PathAttenuation(fGHz float64, a, b geo.LLA, lead float64) float64 {
+	att, _ := v.PathAttenuationScratch(fGHz, a, b, lead, nil)
+	return att
+}
+
+// PathAttenuationScratch is PathAttenuation reusing a caller-owned
+// sample buffer (returned possibly grown), with the gaseous baseline
+// served from the memoized itu.AttenLUT.
+func (v *Volume) PathAttenuationScratch(fGHz float64, a, b geo.LLA, lead float64, scratch []geo.LLA) (float64, []geo.LLA) {
 	const samples = 16
-	pts := geo.SampleSegment(a, b, samples)
+	lut := itu.LUTFor(fGHz, SeaLevelVapourDensity, itu.Horizontal)
+	scratch = geo.SampleSegmentInto(scratch, a, b, samples)
 	stepKm := geo.SlantRange(a, b) / float64(samples) / 1000
 	total := 0.0
-	for _, p := range pts {
-		pr, tk, rho := itu.AtmosphereAt(p.Alt, 7.5)
-		spec := itu.GaseousSpecific(fGHz, pr, tk, rho)
+	for _, p := range scratch {
+		spec := lut.GaseousAt(p.Alt)
 		spec += v.At(p, lead)
 		total += spec * stepKm
 	}
-	return total
+	return total, scratch
 }
 
 // MoistureFuncFromSource builds the sampling function for a volume
@@ -166,14 +174,14 @@ func (v *Volume) PathAttenuation(fGHz float64, a, b geo.LLA, lead float64) float
 // self-advect), which matches the coarse temporal granularity the
 // paper lists among its model-error causes.
 func MoistureFuncFromSource(src Source, fGHz float64) SpecificAttenuationFunc {
+	lut := itu.LUTFor(fGHz, SeaLevelVapourDensity, itu.Horizontal)
 	return func(p geo.LLA, lead float64) float64 {
 		rate, ok := src.EstimateRain(p)
 		if !ok || rate <= 0 {
 			return 0
 		}
-		_, tk, _ := itu.AtmosphereAt(p.Alt, 7.5)
-		spec := itu.RainSpecific(fGHz, rate, itu.Horizontal)
-		spec += itu.CloudSpecific(fGHz, tk, 0.5*math.Min(rate/20, 1.5))
+		spec := lut.RainSpecificAt(rate)
+		spec += lut.CloudSpecificAt(p.Alt, 0.5*math.Min(rate/20, 1.5))
 		return spec
 	}
 }

@@ -24,6 +24,11 @@ import (
 	"minkowski/internal/itu"
 )
 
+// SeaLevelVapourDensity is the standard-atmosphere sea-level
+// water-vapour density (g/m³) every attenuation integral in this
+// package assumes.
+const SeaLevelVapourDensity = 7.5
+
 // Region is the geographic box weather is simulated over.
 type Region struct {
 	LatMinDeg, LatMaxDeg float64
@@ -264,14 +269,16 @@ func (f *Field) LWCAt(p geo.LLA) float64 {
 
 // PathAttenuation integrates the true attenuation in dB along the
 // straight path a→b at frequency fGHz: gaseous absorption plus rain
-// and cloud moisture. This is what the simulated radios experience.
+// and cloud moisture. This is what the simulated radios experience —
+// it stays on the exact closed forms (no LUT quantization) so the
+// physical truth is independent of the evaluator's memoization.
 func (f *Field) PathAttenuation(fGHz float64, a, b geo.LLA) float64 {
 	const samples = 16
 	pts := geo.SampleSegment(a, b, samples)
 	stepKm := geo.SlantRange(a, b) / float64(samples) / 1000
 	total := 0.0
 	for _, p := range pts {
-		pr, tk, rho := itu.AtmosphereAt(p.Alt, 7.5)
+		pr, tk, rho := itu.AtmosphereAt(p.Alt, SeaLevelVapourDensity)
 		spec := itu.GaseousSpecific(fGHz, pr, tk, rho)
 		if rate := f.RainRateAt(p); rate > 0 {
 			spec += itu.RainSpecific(fGHz, rate, itu.Horizontal)
