@@ -1,0 +1,138 @@
+// Package detrand implements the minkowski-vet determinism analyzer:
+// in non-test packages under internal/, simulation code must not read
+// the wall clock or draw from ambient randomness. Every Minkowski run
+// is contractually a pure function of its Scenario (including Seed) —
+// one time.Now() or package-level rand call silently breaks replay,
+// the chaos harness's bit-identical re-runs, and every determinism
+// regression test downstream.
+//
+// Flagged:
+//
+//   - time.Now / time.Since / time.Until (wall-clock reads; simulation
+//     time comes from the event engine),
+//   - package-level math/rand draws (rand.Intn, rand.Float64, Seed,
+//     Shuffle, Perm, …) — RNGs must be injected *rand.Rand seeded
+//     from configuration,
+//   - rand.NewSource / rand.New whose seed expression derives from a
+//     wall-clock or process-identity call (time.Now().UnixNano(),
+//     os.Getpid(), crypto/rand) instead of a config/flag value.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"minkowski/internal/analysis/vet"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &vet.Analyzer{
+	Name:          "detrand",
+	Doc:           "forbid wall-clock reads and ambient randomness in simulation packages",
+	Run:           run,
+	PackageFilter: internalOnly,
+}
+
+func internalOnly(pkgPath string) bool {
+	return strings.Contains(pkgPath, "/internal/") && !strings.Contains(pkgPath, "/internal/analysis")
+}
+
+// allowedRandFuncs are the math/rand package-level functions that do
+// not draw from the ambient source.
+var allowedRandFuncs = map[string]bool{
+	"New":     true,
+	"NewZipf": true,
+	// NewSource is allowed as a constructor but its seed argument is
+	// separately checked for wall-clock derivation.
+	"NewSource": true,
+}
+
+func run(pass *vet.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+					pass.Reportf(call.Pos(), "wall-clock read time.%s breaks run determinism; use the event engine's simulation clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if isPackageLevel(fn) && !allowedRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "package-level rand.%s draws from the ambient source; inject a *rand.Rand seeded from configuration", fn.Name())
+				}
+				if isPackageLevel(fn) && (fn.Name() == "NewSource" || fn.Name() == "NewPCG") {
+					for _, arg := range call.Args {
+						if bad := nondeterministicSeed(pass, arg); bad != "" {
+							pass.Reportf(call.Pos(), "rand.%s seeded from %s; seeds must derive from a config or flag value", fn.Name(), bad)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's callee to a *types.Func, or nil for
+// indirect calls and conversions.
+func calleeFunc(pass *vet.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+func isPackageLevel(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// nondeterministicSeed scans a seed expression for calls that tie the
+// seed to the environment rather than configuration; it returns a
+// human-readable description of the first offender.
+func nondeterministicSeed(pass *vet.Pass, expr ast.Expr) string {
+	bad := ""
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if bad != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			bad = "the wall clock (time." + fn.Name() + ")"
+		case "os":
+			if fn.Name() == "Getpid" || fn.Name() == "Getppid" {
+				bad = "the process id (os." + fn.Name() + ")"
+			}
+		case "crypto/rand":
+			bad = "crypto/rand"
+		}
+		return true
+	})
+	return bad
+}

@@ -1,0 +1,30 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/detrand"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestDetrand(t *testing.T) {
+	vet.RunWant(t, detrand.Analyzer, "detrandtest")
+}
+
+func TestPackageFilter(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"minkowski/internal/sim", true},
+		{"minkowski/internal/linkeval", true},
+		{"minkowski", false},
+		{"minkowski/cmd/figures", false},
+		{"minkowski/internal/analysis/vet", false},
+	}
+	for _, c := range cases {
+		if got := detrand.Analyzer.PackageFilter(c.path); got != c.want {
+			t.Errorf("PackageFilter(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

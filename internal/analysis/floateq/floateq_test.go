@@ -1,0 +1,14 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/floateq"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestFloateq(t *testing.T) {
+	floateq.AllowPackages = append(floateq.AllowPackages, "memokeys")
+	defer func() { floateq.AllowPackages = floateq.AllowPackages[:len(floateq.AllowPackages)-1] }()
+	vet.RunWant(t, floateq.Analyzer, "floateqtest", "memokeys")
+}

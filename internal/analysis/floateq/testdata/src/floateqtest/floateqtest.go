@@ -1,0 +1,55 @@
+// Package floateqtest exercises floateq outside the allowlisted
+// memo-key packages: every float comparison is a finding and the
+// annotation cannot save it.
+package floateqtest
+
+import "math"
+
+type pos struct{ X, Y, Z float64 }
+
+type tagged struct {
+	id  string
+	lat float64
+}
+
+func direct(a, b float64) bool {
+	if a == b { // want `exact equality == floats compares bit patterns`
+		return true
+	}
+	return a != b // want `exact equality != floats compares bit patterns`
+}
+
+func structs(p, q pos, t, u tagged) bool {
+	if p == q { // want `struct equality == floats compares bit patterns`
+		return true
+	}
+	return t != u // want `struct equality != floats compares bit patterns`
+}
+
+func arrays(a, b [3]float64) bool {
+	return a == b // want `struct equality == floats compares bit patterns`
+}
+
+func annotationRejected(a, b float64) bool {
+	//minkowski:floateq-ok not allowed out here
+	return a == b // want `only applies inside the memo-key packages`
+}
+
+func fine(a, b float64, i, j int, s, t string) bool {
+	if math.Abs(a-b) < 1e-9 { // tolerance policy: fine
+		return true
+	}
+	return i == j && s == t // integer and string equality: fine
+}
+
+const sentinel = 1.5
+
+func sentinels(establishedAt, penalty float64) float64 {
+	if establishedAt == 0 { // constant sentinel guard: fine
+		return 0
+	}
+	if penalty != sentinel { // named constant: fine
+		return penalty
+	}
+	return establishedAt
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/hotpath"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestHotpath(t *testing.T) {
+	vet.RunWant(t, hotpath.Analyzer, "hotpathtest")
+}

@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/mapiter"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestMapiter(t *testing.T) {
+	vet.RunWant(t, mapiter.Analyzer, "mapitertest")
+}

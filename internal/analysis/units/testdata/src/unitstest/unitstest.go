@@ -1,0 +1,71 @@
+// Package unitstest exercises the units analyzer with the suffix
+// conventions of the ITU link-budget path.
+package unitstest
+
+func attenuate(pathKm float64) float64 { return 0.2 * pathKm }
+
+type budget struct {
+	RxDBm    float64
+	MarginDB float64
+	PeakDBi  float64
+	DistM    float64
+}
+
+func lengths(altM, altKm, rangeM float64) {
+	_ = altM + rangeM     // same scale: fine
+	_ = altM + altKm      // want `mixing M and Km in "\+": same dimension, different scale`
+	_ = altM - altKm      // want `mixing M and Km in "-"`
+	_ = altM/1000 + altKm // explicit conversion: fine
+	if altM > altKm {     // want `comparing M against Km: same dimension, different scale`
+		return
+	}
+}
+
+func frequencies(fGHz, bwMHz, fHz float64) {
+	_ = fGHz + bwMHz // want `mixing GHz and MHz in "\+"`
+	_ = fHz + fGHz   // want `mixing Hz and GHz in "\+"`
+	_ = fGHz * 1e9   // scalar scaling: fine
+}
+
+func angles(latDeg, elevRad float64) {
+	_ = latDeg + elevRad  // want `mixing Deg and Rad in "\+"`
+	if latDeg < elevRad { // want `comparing Deg against Rad`
+		return
+	}
+}
+
+func dbFamily(b budget, txDBm, lossDB, gainDBi float64) {
+	_ = txDBm + lossDB        // dBm + dB = dBm: fine
+	_ = txDBm - b.RxDBm       // dBm − dBm = dB: fine
+	_ = lossDB + gainDBi      // relative levels add: fine
+	_ = txDBm + b.RxDBm       // want `adding two absolute power levels`
+	_ = lossDB * gainDBi      // want `multiplying decibel quantities`
+	_ = b.MarginDB / lossDB   // want `multiplying decibel quantities`
+	if b.RxDBm > b.MarginDB { // want `comparing absolute power \(DBm\) against a relative level \(DB\)`
+		return
+	}
+}
+
+func crossDimension(distM, lossDB float64) {
+	_ = distM + lossDB  // want `mixing M and DB in "\+": incompatible unit dimensions`
+	if distM > lossDB { // want `comparing M against DB: incompatible unit dimensions`
+		return
+	}
+}
+
+func callArgs(b budget, altKm, distM float64) {
+	_ = attenuate(altKm)        // matching suffixes: fine
+	_ = attenuate(distM)        // want `argument distM \(M\) passed as parameter pathKm \(Km\)`
+	_ = attenuate(b.DistM)      // want `argument b.DistM \(M\) passed as parameter pathKm \(Km\)`
+	_ = attenuate(distM / 1000) // converted expression loses its suffix: fine
+}
+
+func derivedUnits(aM, bM, cKm float64) {
+	_ = (aM - bM) + cKm // want `mixing M and Km in "\+"`
+	_ = (aM - bM) / 2   // scalar division: fine
+}
+
+func justified(altM, altKm float64) {
+	//minkowski:units-ok altKm is pre-scaled by the caller
+	_ = altM + altKm
+}

@@ -1,0 +1,241 @@
+// Package units implements the minkowski-vet unit-suffix analyzer.
+// The codebase encodes physical units in identifier suffixes
+// (MaxRangeM, altKm, fGHz, TxPowersDBm, PessimismDB, latDeg) — the
+// ITU link-budget path in particular mixes meters/kilometers,
+// dB/dBm/dBi, degrees/radians, and Hz/GHz within a few lines, where
+// one mixed-scale addition silently corrupts every figure downstream.
+// This analyzer machine-checks the convention:
+//
+//   - additive arithmetic (+, -) and comparisons between operands
+//     whose suffixes disagree in dimension or scale (M vs Km, Deg vs
+//     Rad, Hz vs GHz) are flagged;
+//   - within the decibel family, dB/dBi/dBm mix freely under + and −
+//     (link-budget arithmetic) except dBm + dBm — adding two absolute
+//     power levels — and ordered comparisons between absolute (dBm)
+//     and relative (dB/dBi) quantities, which are flagged;
+//   - multiplying or dividing two decibel quantities is flagged:
+//     decibels combine additively, so a product is almost always a
+//     log-vs-linear confusion;
+//   - a call argument whose suffix contradicts the parameter's
+//     suffix (EvaluatePath(distM) where the parameter is pathKm) is
+//     flagged, using parameter names recovered from export data.
+//
+// Deliberate unit-bending sites carry a justification:
+//
+//	//minkowski:units-ok <why>
+package units
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"minkowski/internal/analysis/vet"
+)
+
+// Analyzer is the unit-suffix checker.
+var Analyzer = &vet.Analyzer{
+	Name: "units",
+	Doc:  "flag arithmetic and call arguments mixing incompatible unit suffixes",
+	Run:  run,
+}
+
+// unit is one recognized suffix: a dimension and a scale within it.
+type unit struct {
+	dim   string // "length", "freq", "angle", "db"
+	scale string // "m"/"km", "hz"/"mhz"/"ghz", "deg"/"rad", "db"/"dbi"/"dbm"
+}
+
+// suffixes maps accepted spellings to units, longest spellings first
+// (DBm must win over DB, Km over M).
+var suffixes = []struct {
+	spell string
+	u     unit
+}{
+	{"DBm", unit{"db", "dbm"}},
+	{"Dbm", unit{"db", "dbm"}},
+	{"DBi", unit{"db", "dbi"}},
+	{"Dbi", unit{"db", "dbi"}},
+	{"DB", unit{"db", "db"}},
+	{"Db", unit{"db", "db"}},
+	{"KHz", unit{"freq", "khz"}},
+	{"Khz", unit{"freq", "khz"}},
+	{"MHz", unit{"freq", "mhz"}},
+	{"Mhz", unit{"freq", "mhz"}},
+	{"GHz", unit{"freq", "ghz"}},
+	{"Ghz", unit{"freq", "ghz"}},
+	{"Hz", unit{"freq", "hz"}},
+	{"Km", unit{"length", "km"}},
+	{"KM", unit{"length", "km"}},
+	{"M", unit{"length", "m"}},
+	{"Deg", unit{"angle", "deg"}},
+	{"Rad", unit{"angle", "rad"}},
+}
+
+// suffixUnit extracts the unit a name's suffix declares, if any. The
+// suffix must sit on a camel-case boundary: the character before it
+// is a lowercase letter or digit (altKm, fGHz, TxPowersDBm), or the
+// suffix is the whole name modulo case (a parameter named km).
+func suffixUnit(name string) (unit, string, bool) {
+	for _, s := range suffixes {
+		if strings.EqualFold(name, s.spell) {
+			return s.u, s.spell, true
+		}
+		if !strings.HasSuffix(name, s.spell) {
+			continue
+		}
+		before := name[len(name)-len(s.spell)-1]
+		if before >= 'a' && before <= 'z' || before >= '0' && before <= '9' {
+			return s.u, s.spell, true
+		}
+	}
+	return unit{}, "", false
+}
+
+func run(pass *vet.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func suppressed(pass *vet.Pass, pos token.Pos) bool {
+	_, ok := pass.DirectiveAt(pos, "units-ok")
+	return ok
+}
+
+// exprUnit infers the unit an expression carries from its identifier
+// suffix, recursing through parentheses, same-unit additive
+// subexpressions, and calls (a call carries its callee's suffix:
+// SlantRangeM() is meters).
+func exprUnit(e ast.Expr) (unit, string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return suffixUnit(e.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(e.Sel.Name)
+	case *ast.CallExpr:
+		return exprUnit(e.Fun)
+	case *ast.UnaryExpr:
+		return exprUnit(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			lu, ls, lok := exprUnit(e.X)
+			ru, _, rok := exprUnit(e.Y)
+			if lok && rok && lu == ru {
+				return lu, ls, true
+			}
+		}
+	}
+	return unit{}, "", false
+}
+
+func checkBinary(pass *vet.Pass, b *ast.BinaryExpr) {
+	lu, lspell, lok := exprUnit(b.X)
+	ru, rspell, rok := exprUnit(b.Y)
+	if !lok || !rok {
+		return
+	}
+	report := func(format string, args ...any) {
+		if !suppressed(pass, b.Pos()) {
+			pass.Reportf(b.OpPos, format, args...)
+		}
+	}
+	switch b.Op {
+	case token.MUL, token.QUO:
+		if lu.dim == "db" && ru.dim == "db" {
+			report("multiplying decibel quantities (%s %s %s); decibels combine additively — convert to linear first or annotate //minkowski:units-ok <why>", lspell, b.Op, rspell)
+		}
+	case token.ADD, token.SUB:
+		if lu.dim != ru.dim {
+			report("mixing %s and %s in %q: incompatible unit dimensions", lspell, rspell, b.Op)
+			return
+		}
+		if lu.dim == "db" {
+			if b.Op == token.ADD && lu.scale == "dbm" && ru.scale == "dbm" {
+				report("adding two absolute power levels (%s + %s); the sum of dBm values is not a power", lspell, rspell)
+			}
+			return
+		}
+		if lu.scale != ru.scale {
+			report("mixing %s and %s in %q: same dimension, different scale — convert explicitly", lspell, rspell, b.Op)
+		}
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		if lu.dim != ru.dim {
+			report("comparing %s against %s: incompatible unit dimensions", lspell, rspell)
+			return
+		}
+		if lu.dim == "db" {
+			if (lu.scale == "dbm") != (ru.scale == "dbm") {
+				report("comparing absolute power (%s) against a relative level (%s)", lspell, rspell)
+			}
+			return
+		}
+		if lu.scale != ru.scale {
+			report("comparing %s against %s: same dimension, different scale", lspell, rspell)
+		}
+	}
+}
+
+// checkCall flags arguments whose suffix contradicts the callee's
+// parameter name suffix.
+func checkCall(pass *vet.Pass, call *ast.CallExpr) {
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() {
+		n-- // leave the variadic tail unchecked
+	}
+	for i := 0; i < n && i < len(call.Args); i++ {
+		pu, pspell, pok := suffixUnit(params.At(i).Name())
+		if !pok {
+			continue
+		}
+		au, aspell, aok := exprUnit(call.Args[i])
+		if !aok || au == pu {
+			continue
+		}
+		if !suppressed(pass, call.Args[i].Pos()) && !suppressed(pass, call.Pos()) {
+			pass.Reportf(call.Args[i].Pos(), "argument %s (%s) passed as parameter %s (%s): unit suffix contradicts the parameter", exprString(call.Args[i]), aspell, params.At(i).Name(), pspell)
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	}
+	return "expression"
+}
+
+// calleeSignature resolves a call to its function signature; nil for
+// builtins, conversions, and untypeable callees. Method values and
+// interface methods both carry parameter names through export data.
+func calleeSignature(pass *vet.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	if tv.IsType() {
+		return nil // conversion
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,12 @@
+package units_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/units"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestUnits(t *testing.T) {
+	vet.RunWant(t, units.Analyzer, "unitstest")
+}

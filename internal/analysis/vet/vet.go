@@ -1,0 +1,140 @@
+// Package vet is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository needs,
+// built only on the standard library so the analyzer suite carries
+// no external dependency. It provides:
+//
+//   - the Analyzer / Pass / Diagnostic vocabulary the five
+//     minkowski-vet analyzers are written against (API-compatible
+//     with x/tools in shape, so swapping the import path back to the
+//     upstream framework is mechanical);
+//   - a package loader (load.go) that enumerates packages with
+//     `go list` and type-checks their sources against compiler
+//     export data, giving every pass full types.Info;
+//   - an analysistest-equivalent harness (vettest.go) that runs an
+//     analyzer over a `testdata/src/<pkg>` tree and checks reported
+//     diagnostics against `// want "regexp"` comments.
+//
+// The `//minkowski:` directive grammar the analyzers honor is
+// documented in DESIGN.md §8.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer minus the Fact and
+// Requires machinery (no analyzer here needs cross-package facts).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the analyzer's contract, shown by `minkowski-vet -help`.
+	Doc string
+	// Run executes the check against one package.
+	Run func(*Pass) error
+	// PackageFilter optionally restricts which import paths the
+	// driver applies this analyzer to (nil = every package). The test
+	// harness ignores it: testdata packages are always analyzed.
+	PackageFilter func(pkgPath string) bool
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// --- Directive comments ---------------------------------------------
+
+// Directive is one `//minkowski:<name> <justification>` comment.
+type Directive struct {
+	Name          string // e.g. "unordered-ok"
+	Justification string // trailing free text (may be empty)
+	Line          int
+}
+
+// fileDirectives extracts every //minkowski: directive of a file,
+// keyed by the line it sits on.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	out := map[int][]Directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//minkowski:")
+			if !ok {
+				continue
+			}
+			name, just, _ := strings.Cut(text, " ")
+			line := fset.Position(c.Pos()).Line
+			out[line] = append(out[line], Directive{
+				Name:          name,
+				Justification: strings.TrimSpace(just),
+				Line:          line,
+			})
+		}
+	}
+	return out
+}
+
+// DirectiveAt looks for a `//minkowski:<name>` directive attached to
+// the site at pos: on the same line (trailing comment) or on the line
+// immediately above it. It returns the directive and whether one was
+// found.
+func (p *Pass) DirectiveAt(pos token.Pos, name string) (Directive, bool) {
+	posn := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		ff := p.Fset.File(f.Pos())
+		if ff == nil || ff.Name() != posn.Filename {
+			continue
+		}
+		dirs := fileDirectives(p.Fset, f)
+		for _, line := range []int{posn.Line, posn.Line - 1} {
+			for _, d := range dirs[line] {
+				if d.Name == name {
+					return d, true
+				}
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective reports whether the function declaration carries the
+// directive in its doc comment (the annotation grammar for
+// function-scoped contracts like //minkowski:hotpath).
+func FuncDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if text, ok := strings.CutPrefix(c.Text, "//minkowski:"); ok {
+			n, _, _ := strings.Cut(text, " ")
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}

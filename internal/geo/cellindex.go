@@ -1,5 +1,7 @@
 package geo
 
+import "math"
+
 // CellIndex buckets positions into a uniform grid of cubic cells in
 // the ECEF frame, sized so that any two positions within the cell
 // edge length are guaranteed to land in the same or an adjacent cell
@@ -45,6 +47,7 @@ func (ci *CellIndex) Reset(cellM float64) {
 // Len returns the number of indexed points.
 func (ci *CellIndex) Len() int { return ci.n }
 
+//minkowski:hotpath
 func (ci *CellIndex) key(p Vec3) cellKey {
 	return cellKey{
 		x: int32(floorDiv(p.X, ci.cellM)),
@@ -54,15 +57,12 @@ func (ci *CellIndex) key(p Vec3) cellKey {
 }
 
 func floorDiv(v, cell float64) float64 {
-	q := v / cell
-	f := float64(int64(q))
-	if q < 0 && q != f {
-		f--
-	}
-	return f
+	return math.Floor(v / cell)
 }
 
 // Insert adds an id at an ECEF position.
+//
+//minkowski:hotpath
 func (ci *CellIndex) Insert(id int32, p Vec3) {
 	k := ci.key(p)
 	ci.cells[k] = append(ci.cells[k], id)
@@ -74,6 +74,8 @@ func (ci *CellIndex) Insert(id int32, p Vec3) {
 // deterministic: neighbor cells are scanned in a fixed order and ids
 // within a cell in insertion order. Callers must apply their own
 // exact distance gate — the neighborhood is a superset.
+//
+//minkowski:hotpath
 func (ci *CellIndex) Near(p Vec3, visit func(id int32)) {
 	c := ci.key(p)
 	for dx := int32(-1); dx <= 1; dx++ {

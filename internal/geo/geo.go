@@ -93,6 +93,8 @@ func (v Vec3) Unit() Vec3 {
 }
 
 // ToECEF converts a geodetic position to ECEF Cartesian coordinates.
+//
+//minkowski:hotpath
 func (p LLA) ToECEF() Vec3 {
 	sinLat, cosLat := math.Sincos(p.Lat)
 	sinLon, cosLon := math.Sincos(p.Lon)
@@ -139,6 +141,8 @@ func (v Vec3) ToLLA() LLA {
 
 // SlantRange returns the straight-line (line-of-sight) distance in
 // meters between two geodetic positions.
+//
+//minkowski:hotpath
 func SlantRange(a, b LLA) float64 {
 	return b.ToECEF().Sub(a.ToECEF()).Norm()
 }
@@ -246,6 +250,8 @@ func (pt Pointing) String() string {
 
 // PointingTo computes the azimuth/elevation required to aim from
 // position `from` at position `to`, in from's local ENU frame.
+//
+//minkowski:hotpath
 func PointingTo(from, to LLA) Pointing {
 	f := NewENU(from)
 	l := f.To(to.ToECEF())
@@ -266,6 +272,8 @@ func PointingTo(from, to LLA) Pointing {
 // meters added to the Earth radius, modelling terrain and atmospheric
 // grazing losses). A clearance of 0 tests against the bare ellipsoid
 // approximated as a sphere of the mean radius.
+//
+//minkowski:hotpath
 func LineOfSight(a, b LLA, clearance float64) bool {
 	return GrazingAltitude(a, b) >= clearance
 }
@@ -306,6 +314,8 @@ func SampleSegment(a, b LLA, n int) []LLA {
 // when it has the capacity, so hot paths (the Link Evaluator samples
 // every candidate path every epoch) can reuse one scratch buffer
 // instead of allocating per call.
+//
+//minkowski:hotpath
 func SampleSegmentInto(dst []LLA, a, b LLA, n int) []LLA {
 	if n < 1 {
 		n = 1

@@ -1,0 +1,77 @@
+package itu
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAttenLUT fuzzes the memoized attenuation tables against the
+// exact Annex 2 closed forms across arbitrary (frequency, altitude,
+// liquid water, rain rate) inputs, holding the LUT to its documented
+// contract: gaseous and cloud interpolation within 1e-3 relative of
+// the exact evaluators inside the table, exact fallback above the
+// table top, and rain bit-identical to RainSpecific everywhere.
+func FuzzAttenLUT(f *testing.F) {
+	f.Add(72.0, 18000.0, 0.5, 10.0)
+	f.Add(82.0, 0.0, 0.0, 0.0)
+	f.Add(71.0, 29999.0, 1.5, 145.0)
+	f.Add(76.5, 31000.0, 0.05, 0.1)
+	f.Add(86.0, 50.0, 2.0, 250.0)
+	f.Fuzz(func(t *testing.T, fGHz, altM, lwc, rainRate float64) {
+		// Clamp to the domains the models are specified over; the
+		// interesting surface is interpolation knots, cell boundaries,
+		// and the table-top fallback, not NaN plumbing.
+		if math.IsNaN(fGHz) || math.IsInf(fGHz, 0) || fGHz < 1 || fGHz > 350 {
+			return
+		}
+		if math.IsNaN(altM) || math.IsInf(altM, 0) || altM < 0 || altM > 100000 {
+			return
+		}
+		if math.IsNaN(lwc) || math.IsInf(lwc, 0) || lwc < 0 || lwc > 10 {
+			return
+		}
+		if math.IsNaN(rainRate) || math.IsInf(rainRate, 0) || rainRate < 0 || rainRate > 500 {
+			return
+		}
+		const rho0 = 7.5
+		l := NewAttenLUT(fGHz, rho0, Horizontal)
+
+		pr, tk, rho := AtmosphereAt(altM, rho0)
+		exactGas := GaseousSpecific(fGHz, pr, tk, rho)
+		gotGas := l.GaseousAt(altM)
+		if altM >= lutMaxAltM {
+			if gotGas != exactGas {
+				t.Fatalf("f=%v alt=%v: above-table gaseous must be exact: lut %v exact %v",
+					fGHz, altM, gotGas, exactGas)
+			}
+		} else if exactGas != 0 {
+			if rel := math.Abs(gotGas-exactGas) / math.Abs(exactGas); rel > 1e-3 {
+				t.Fatalf("f=%v alt=%v: gaseous rel error %v > 1e-3 (lut %v exact %v)",
+					fGHz, altM, rel, gotGas, exactGas)
+			}
+		}
+
+		exactCloud := CloudSpecific(fGHz, tk, lwc)
+		gotCloud := l.CloudSpecificAt(altM, lwc)
+		if lwc == 0 {
+			if gotCloud != 0 {
+				t.Fatalf("f=%v alt=%v: zero liquid water must cost zero, got %v", fGHz, altM, gotCloud)
+			}
+		} else if altM >= lutMaxAltM {
+			if gotCloud != exactCloud {
+				t.Fatalf("f=%v alt=%v lwc=%v: above-table cloud must be exact: lut %v exact %v",
+					fGHz, altM, lwc, gotCloud, exactCloud)
+			}
+		} else if exactCloud != 0 {
+			if rel := math.Abs(gotCloud-exactCloud) / math.Abs(exactCloud); rel > 1e-3 {
+				t.Fatalf("f=%v alt=%v lwc=%v: cloud rel error %v > 1e-3 (lut %v exact %v)",
+					fGHz, altM, lwc, rel, gotCloud, exactCloud)
+			}
+		}
+
+		if got, exact := l.RainSpecificAt(rainRate), RainSpecific(fGHz, rainRate, Horizontal); got != exact {
+			t.Fatalf("f=%v rate=%v: rain must be bit-identical: lut %v exact %v",
+				fGHz, rainRate, got, exact)
+		}
+	})
+}

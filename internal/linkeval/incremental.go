@@ -130,6 +130,8 @@ func (e *Evaluator) resizeResults(n int) []*Report {
 // posOf optionally overrides position prediction (Horizon shares a
 // per-node position table across leads through it); nil predicts via
 // e.Predict.
+//
+//minkowski:hotpath
 func (e *Evaluator) incrementalGraph(xcvrs []*platform.Transceiver, lead float64, posOf func(*platform.Node) geo.LLA) []*Report {
 	scr := &e.scr
 	e.stats.Graphs++
@@ -297,22 +299,28 @@ func (e *Evaluator) incrementalGraph(xcvrs []*platform.Transceiver, lead float64
 
 // cacheHit reports whether a cached entry may serve the pair at the
 // current epoch and positions.
+//
+//minkowski:hotpath
 func (e *Evaluator) cacheHit(ent *cacheEntry, uPos, vPos geo.LLA, lead float64) bool {
 	if ent.epoch != e.weatherEpoch || ent.vol != e.Volume {
 		return false
 	}
 	// Volume attenuation interpolates over lead time, so cached
 	// values are lead-specific; Source-backed estimation is not.
+	//minkowski:floateq-ok cache key: volume-backed evaluations are valid only at the exact lead they were computed for
 	if e.Volume != nil && ent.lead != lead {
 		return false
 	}
 	if eps := e.cfg.DisplacementEpsM; eps > 0 {
 		return geo.SlantRange(ent.pA, uPos) <= eps && geo.SlantRange(ent.pB, vPos) <= eps
 	}
+	//minkowski:floateq-ok cache key: eps=0 bit-identity contract requires exact position equality
 	return ent.pA == uPos && ent.pB == vPos
 }
 
 // runTask evaluates every transceiver pair of one platform pair.
+//
+//minkowski:hotpath
 func (e *Evaluator) runTask(t npTask, lead float64, st *workerState, xcvrs []*platform.Transceiver) {
 	ue := &e.scr.nodes[t.u]
 	ve := &e.scr.nodes[t.v]
@@ -340,6 +348,7 @@ func (e *Evaluator) runTask(t npTask, lead float64, st *workerState, xcvrs []*pl
 			if ent, ok := e.cache[id]; ok && e.cacheHit(&ent, ue.pos, ve.pos, lead) {
 				st.scratch.stats.CacheHits++
 				rep := ent.rep
+				//minkowski:floateq-ok cache key: restamp only when the cached lead differs bit-exactly
 				if rep != nil && rep.Lead != lead {
 					// Cross-lead reuse (Volume nil): clone with the
 					// lead restamped; all other fields are

@@ -321,6 +321,7 @@ func (e *Evaluator) pathAttenuation(a, b geo.LLA, lead float64) float64 {
 	return weather.EstimatePathAttenuation(e.Weather, e.cfg.Channel.CenterGHz, a, b)
 }
 
+//minkowski:hotpath
 func (e *Evaluator) pathAttenuationScratch(a, b geo.LLA, lead float64, s *evalScratch) float64 {
 	var att float64
 	if e.Volume != nil {
@@ -332,10 +333,12 @@ func (e *Evaluator) pathAttenuationScratch(a, b geo.LLA, lead float64, s *evalSc
 }
 
 func radioEqual(a, b rf.Radio) bool {
+	//minkowski:floateq-ok budget-memo key: radios match only when bit-identical
 	if a.NoiseFigureDB != b.NoiseFigureDB || len(a.TxPowersDBm) != len(b.TxPowersDBm) {
 		return false
 	}
 	for i := range a.TxPowersDBm {
+		//minkowski:floateq-ok budget-memo key: radios match only when bit-identical
 		if a.TxPowersDBm[i] != b.TxPowersDBm[i] {
 			return false
 		}
@@ -348,6 +351,8 @@ func radioEqual(a, b rf.Radio) bool {
 // at posA). geom memoizes platform-pair work; a fresh geom per call
 // reproduces the standalone evaluation exactly. The returned detail
 // carries the blocking occlusion label for the pointing stages.
+//
+//minkowski:hotpath
 func (e *Evaluator) evalStaged(xa, xb *platform.Transceiver, lead float64, g *pairGeom, orient int, s *evalScratch) (*Report, Stage, string) {
 	if g.dist > e.cfg.MaxRangeM {
 		return nil, StageRange, ""
@@ -402,6 +407,7 @@ func (e *Evaluator) evalStaged(xa, xb *platform.Transceiver, lead float64, g *pa
 	memoHit := false
 	for i := range g.budgets {
 		m := &g.budgets[i]
+		//minkowski:floateq-ok budget-memo key: a memo entry serves only bit-identical gain/noise/power inputs
 		if m.orient == orient && m.peakA == peakA && m.peakB == peakB &&
 			m.noiseFigure == xa.Radio.NoiseFigureDB && floatsEqual(m.txPowers, xa.Radio.TxPowersDBm) {
 			budget, class = m.budget, m.class
@@ -444,6 +450,7 @@ func floatsEqual(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//minkowski:floateq-ok budget-memo key: power vectors match only when bit-identical
 		if a[i] != b[i] {
 			return false
 		}
@@ -465,6 +472,7 @@ func (e *Evaluator) EvaluatePair(xa, xb *platform.Transceiver, lead float64) *Re
 	return e.evaluatePairScratch(xa, xb, lead, nil)
 }
 
+//minkowski:hotpath
 func (e *Evaluator) evaluatePairScratch(xa, xb *platform.Transceiver, lead float64, s *evalScratch) *Report {
 	if xa.Node == xb.Node {
 		return nil

@@ -1,6 +1,8 @@
 package manet
 
 import (
+	"sort"
+
 	"minkowski/internal/sim"
 )
 
@@ -96,9 +98,17 @@ func (d *DSDV) Start() {
 					delete(n.routes, dst)
 				}
 			}
-			// Build the advertisement: self + all known routes.
+			// Build the advertisement: self + all known routes, in
+			// sorted destination order so the wire layout (and any
+			// receiver tie-break) is independent of map iteration.
+			dsts := make([]string, 0, len(n.routes))
+			for dst := range n.routes {
+				dsts = append(dsts, dst)
+			}
+			sort.Strings(dsts)
 			adv := []advEntry{{dst: id, hops: 0, seqno: n.seqno}}
-			for dst, r := range n.routes {
+			for _, dst := range dsts {
+				r := n.routes[dst]
 				adv = append(adv, advEntry{dst: dst, hops: r.hops, seqno: r.seqno})
 			}
 			size := d.cfg.HeaderBytes + d.cfg.EntryBytes*len(adv)

@@ -165,6 +165,7 @@ func (f *Fleet) Step(t, dt float64) {
 			f.joined = append(f.joined, n)
 		}
 	}
+	leftStart := len(f.left)
 	for veh, node := range f.byVehicle {
 		if !current[veh] {
 			delete(f.byVehicle, veh)
@@ -172,6 +173,11 @@ func (f *Fleet) Step(t, dt float64) {
 			f.left = append(f.left, node)
 		}
 	}
+	// The sweep above ranges a pointer-keyed map; sort this step's
+	// departures so leave events drain in a run-independent order.
+	sort.Slice(f.left[leftStart:], func(i, j int) bool {
+		return f.left[leftStart+i].ID < f.left[leftStart+j].ID
+	})
 	// Power.
 	for _, n := range f.Balloons {
 		n.Power.Step(t, dt)

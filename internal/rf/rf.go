@@ -197,8 +197,11 @@ func BestBudget(radio Radio, ch Channel, txGainDBi, rxGainDBi, distM, atmosLossD
 			PointingLossDB: pointingLossDB,
 			NoiseFigureDB:  radio.NoiseFigureDB,
 		})
+		// b.BitrateBps >= best.BitrateBps here means equality (the >
+		// case already accepted), phrased with ordered comparisons so
+		// the tie-break involves no float equality.
 		if first || b.BitrateBps > best.BitrateBps ||
-			(b.BitrateBps == best.BitrateBps && b.MarginDB > best.MarginDB) {
+			(b.BitrateBps >= best.BitrateBps && b.MarginDB > best.MarginDB) {
 			best = b
 			first = false
 		}
