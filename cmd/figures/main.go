@@ -89,6 +89,8 @@ func main() {
 		results = append(results, experiments.AppD(o))
 	case "ablations":
 		results = experiments.Ablations(o)
+	case "retry", "abl-retry":
+		results = append(results, experiments.AblationRetryPolicy(o))
 	case "chaosavail":
 		results = append(results, experiments.ChaosAvail(o))
 	default:

@@ -42,6 +42,59 @@ func TestJitterBoundedAndDeterministic(t *testing.T) {
 	}
 }
 
+func TestJitterDistributionFromSeededSource(t *testing.T) {
+	// Many draws at a fixed attempt from one seeded stream: every
+	// sample must land inside the ±JitterFrac envelope, and the
+	// samples must actually spread (jitter that collapses to a
+	// constant would re-synchronize retry storms).
+	p := Policy{BaseS: 8, CapS: 100, Mult: 2, JitterFrac: 0.25}
+	nominal := Policy{BaseS: 8, CapS: 100, Mult: 2}.Delay(3, nil)
+	rng := rand.New(rand.NewSource(42))
+	lo, hi := nominal, nominal
+	sum := 0.0
+	const draws = 500
+	for i := 0; i < draws; i++ {
+		d := p.Delay(3, rng)
+		if d < nominal*0.75 || d > nominal*1.25 {
+			t.Fatalf("draw %d: %v outside ±25%% of %v", i, d, nominal)
+		}
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+		sum += d
+	}
+	if spread := hi - lo; spread < nominal*0.25 {
+		t.Errorf("jitter barely spreads: [%v, %v] over nominal %v", lo, hi, nominal)
+	}
+	if mean := sum / draws; mean < nominal*0.95 || mean > nominal*1.05 {
+		t.Errorf("jitter is biased: mean %v vs nominal %v", mean, nominal)
+	}
+}
+
+func TestJitterAppliesAfterCap(t *testing.T) {
+	// Deep attempts sit at the cap; jitter then spreads around the cap
+	// itself, so the worst-case delay is CapS*(1+JitterFrac) — the
+	// bound callers should budget for.
+	p := Policy{BaseS: 2, CapS: 120, Mult: 2, JitterFrac: 0.2}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		d := p.Delay(50, rng)
+		if d < 120*0.8 || d > 120*1.2 {
+			t.Fatalf("capped jittered delay %v outside [%v, %v]", d, 120*0.8, 120*1.2)
+		}
+	}
+}
+
+func TestSubUnityMultTreatedAsDoubling(t *testing.T) {
+	p := Policy{BaseS: 3, Mult: 0.5}
+	if d := p.Delay(3, nil); d != 12 {
+		t.Errorf("Mult<1 should fall back to doubling: Delay(3) = %v, want 12", d)
+	}
+}
+
 func TestExhausted(t *testing.T) {
 	p := Policy{MaxAttempts: 4}
 	if p.Exhausted(3) {

@@ -39,6 +39,14 @@ type Agent struct {
 	seen map[uint64]bool
 	// Enacted counts executed commands.
 	Enacted int
+	// LateSyncEnactments counts sync-required commands the agent
+	// executed strictly after their TTE — an invariant violation (the
+	// receive guard must have dropped them). Always 0 in a correct run.
+	LateSyncEnactments int
+	// StateReport, when set, is sampled at each heartbeat and carried
+	// to the frontend as the node's self-reported state (position
+	// telemetry). A byzantine node's report lies.
+	StateReport func() interface{}
 }
 
 // AgentConfig tunes agent behaviour.
@@ -75,9 +83,15 @@ func newAgent(eng *sim.Engine, fe *Frontend, node string, enactor Enactor, cfg A
 			return false
 		}
 		if a.connected {
+			// Sample the report at transmit time: it is the node's
+			// claim when the heartbeat left, not when it arrived.
+			var report interface{}
+			if a.StateReport != nil {
+				report = a.StateReport()
+			}
 			a.frontend.ib.SendUp(a.Node, 48, func(ok bool) {
 				if ok && !a.stopped {
-					a.frontend.heartbeat(a.Node)
+					a.frontend.heartbeatReport(a.Node, report)
 				}
 			})
 		}
@@ -95,7 +109,10 @@ func (a *Agent) stop() { a.stopped = true }
 // connecting to the mesh, the balloon's SDN agent would immediately
 // establish an in-band connection to the TS-SDN").
 func (a *Agent) checkConnectivity() {
-	now := a.frontend.ib.Connected(a.Node)
+	// The agent's notion of "connected" is whether IT can reach the
+	// EC: heartbeats and responses travel the up direction, so a dead
+	// uplink means disconnected even if downstream commands still land.
+	now := a.frontend.ib.ConnectedUp(a.Node)
 	if now && !a.connected {
 		a.connected = true
 		a.frontend.ib.SendUp(a.Node, 96, func(ok bool) {
@@ -133,6 +150,13 @@ func (a *Agent) receive(cmd *Command, via Channel) {
 	a.eng.At(enactAt, func() {
 		if a.stopped {
 			return // rebooted while holding the command to its TTE
+		}
+		if cmd.TTE > 0 && cmd.Kind.RequiresSync() && a.eng.Now() > cmd.TTE {
+			// Should be unreachable: the receive guard drops late sync
+			// commands and enactAt is clamped to the TTE. Counting it
+			// (rather than silently enacting) turns the §4.2 sync
+			// discipline into a checkable invariant.
+			a.LateSyncEnactments++
 		}
 		a.Enacted++
 		a.enactor.Enact(cmd, func(ok bool) {

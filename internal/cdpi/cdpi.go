@@ -138,6 +138,12 @@ type InBand struct {
 	// WiredOneWayS is EC↔GS latency (tens of ms over leased circuits
 	// or Internet).
 	WiredOneWayS float64
+	// SymmetricCompat restores the pre-directional model where the
+	// node → EC direction reuses the EC → node path. Under partial
+	// partitions that model invents uplinks that don't exist (ghost
+	// heartbeats); it is kept only so tests can demonstrate the
+	// failure the chaos search found.
+	SymmetricCompat bool
 	// Bytes counts in-band control traffic.
 	Bytes int64
 	// partitioned nodes are unreachable over the mesh (chaos: a MANET
@@ -203,6 +209,41 @@ func (ib *InBand) Connected(node string) bool {
 	return ok
 }
 
+// PathUp returns the full node path (node first, GS last) from a node
+// to the EC over the best reachable gateway. With directed mesh
+// adjacency (partial partitions) this is NOT the reverse of PathTo:
+// each direction routes over its own live edges.
+func (ib *InBand) PathUp(node string) ([]string, bool) {
+	if ib.partitioned[node] {
+		return nil, false
+	}
+	var best []string
+	for _, gw := range ib.Gateways {
+		if ib.partitioned[gw] {
+			continue
+		}
+		if gw == node {
+			return []string{gw}, true
+		}
+		if p, ok := manet.PathFrom(ib.Router, node, gw); ok && ib.pathUsable(p) {
+			if best == nil || len(p) < len(best) {
+				best = p
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// ConnectedUp reports whether the node can currently reach the EC
+// in-band (the direction heartbeats and responses travel).
+func (ib *InBand) ConnectedUp(node string) bool {
+	if ib.SymmetricCompat {
+		return ib.Connected(node)
+	}
+	_, ok := ib.PathUp(node)
+	return ok
+}
+
 // Latency returns the modelled one-way EC→node latency along a path.
 func (ib *InBand) latency(path []string) float64 {
 	d := ib.WiredOneWayS
@@ -236,7 +277,30 @@ func (ib *InBand) Send(node string, size int, done func(bool)) {
 	})
 }
 
-// SendUp delivers from the node to the EC (responses, heartbeats).
+// SendUp delivers from the node to the EC (responses, heartbeats)
+// along the node → gateway direction of the mesh. A node whose uplink
+// direction is dead cannot heartbeat, even if commands still reach it
+// downstream.
 func (ib *InBand) SendUp(node string, size int, done func(bool)) {
-	ib.Send(node, size, done) // symmetric model
+	if ib.SymmetricCompat {
+		ib.Send(node, size, done)
+		return
+	}
+	path, ok := ib.PathUp(node)
+	if !ok {
+		ib.Eng.After(ib.WiredOneWayS, func() {
+			if done != nil {
+				done(false)
+			}
+		})
+		return
+	}
+	ib.Bytes += int64(size)
+	lat := ib.latency(path)
+	ib.Eng.After(lat, func() {
+		// Re-validate: the uplink may have broken while in flight.
+		if done != nil {
+			done(ib.ConnectedUp(node))
+		}
+	})
 }

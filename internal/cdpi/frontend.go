@@ -80,6 +80,10 @@ type Frontend struct {
 	Enactments []Enactment
 	// Timeouts and Retries count failure handling.
 	Timeouts, Retries int
+	// OnPositionReport, when set, receives each heartbeat's sampled
+	// state report (the node's self-claimed position). The controller
+	// wires this to the byzantine-telemetry guard.
+	OnPositionReport func(node string, report interface{})
 }
 
 type pendingCmd struct {
@@ -178,12 +182,16 @@ func (fe *Frontend) InBandUp(node string) bool {
 	return ok && fe.eng.Now()-last < fe.cfg.HeartbeatTimeoutS
 }
 
-// heartbeat is called by agents' delivered heartbeats.
-func (fe *Frontend) heartbeat(node string) {
+// heartbeatReport is called by agents' delivered heartbeats, carrying
+// the node's sampled state report (nil when the agent reports none).
+func (fe *Frontend) heartbeatReport(node string, report interface{}) {
 	if fe.down {
 		return
 	}
 	fe.lastHeard[node] = fe.eng.Now()
+	if report != nil && fe.OnPositionReport != nil {
+		fe.OnPositionReport(node, report)
+	}
 }
 
 // agentConnected fires when a node's agent establishes its in-band
@@ -377,6 +385,18 @@ func (fe *Frontend) satProviderForResponse() *satcom.Provider {
 
 // PendingCount returns in-flight commands (tests/telemetry).
 func (fe *Frontend) PendingCount() int { return len(fe.pending) }
+
+// LateSyncEnactments sums the fleet's late-sync violation counters:
+// sync-required commands any agent executed after their TTE. Always 0
+// in a correct run (the chaos search's no-intent-after-expiry
+// invariant).
+func (fe *Frontend) LateSyncEnactments() int {
+	total := 0
+	for _, a := range fe.agents {
+		total += a.LateSyncEnactments
+	}
+	return total
+}
 
 // SuccessfulEnactments filters the log by kind and success.
 func (fe *Frontend) SuccessfulEnactments(k Kind) []Enactment {

@@ -49,6 +49,18 @@ const (
 	// SolverOutage makes every solve cycle fail for the duration; the
 	// controller must keep actuating its last-known-good plan.
 	SolverOutage
+	// PartialPartition blocks ONE direction of the in-band mesh:
+	// Target is "a>b", meaning transmissions from a toward b are lost
+	// (b no longer hears a) while the reverse direction keeps working.
+	// Asymmetric loss is the MANET failure mode symmetric partitions
+	// cannot express: routing tables stay plausible while one
+	// direction of every path through the edge is dead.
+	PartialPartition
+	// ByzantineTelemetry makes a node report WRONG state (spoofed GPS
+	// positions, inflated link margins) rather than stale state.
+	// Target is the node ID. The controller must reject or quarantine
+	// implausible reports instead of planning on them.
+	ByzantineTelemetry
 )
 
 // String implements fmt.Stringer.
@@ -68,9 +80,42 @@ func (k Kind) String() string {
 		return "telemetry-stale"
 	case SolverOutage:
 		return "solver-outage"
+	case PartialPartition:
+		return "partial-partition"
+	case ByzantineTelemetry:
+		return "byzantine-telemetry"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
+}
+
+// Kinds lists every injectable fault kind (grammar enumeration).
+func Kinds() []Kind {
+	return []Kind{
+		ControllerCrash, SatcomOutage, GatewayLoss, ManetPartition,
+		AgentReboot, TelemetryStale, SolverOutage,
+		PartialPartition, ByzantineTelemetry,
+	}
+}
+
+// ParseKind inverts Kind.String for script (de)serialization.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown fault kind %q", s)
+}
+
+// SplitDirection parses a PartialPartition target "a>b" into its
+// (from, to) direction: messages from → to are the ones lost.
+func SplitDirection(target string) (from, to string, ok bool) {
+	i := strings.IndexByte(target, '>')
+	if i <= 0 || i == len(target)-1 {
+		return "", "", false
+	}
+	return strings.TrimSpace(target[:i]), strings.TrimSpace(target[i+1:]), true
 }
 
 // Fault is one scheduled fault window.
@@ -138,6 +183,12 @@ type Hooks struct {
 	TelemetryStale func(stale bool)
 	// SolverOutage starts or ends a solver brown-out.
 	SolverOutage func(down bool)
+	// PartialPartition blocks (or restores) one direction of the mesh:
+	// messages from → to are lost while blocked.
+	PartialPartition func(from, to string, blocked bool)
+	// Byzantine starts (or ends) a node's byzantine-telemetry window:
+	// while active the node reports spoofed positions and margins.
+	Byzantine func(node string, active bool)
 }
 
 // Event records one injected transition for post-hoc analysis.
@@ -212,6 +263,16 @@ func (in *Injector) start(f Fault) {
 		if in.hooks.SolverOutage != nil {
 			in.hooks.SolverOutage(true)
 		}
+	case PartialPartition:
+		if in.hooks.PartialPartition != nil {
+			if from, to, ok := SplitDirection(f.Target); ok {
+				in.hooks.PartialPartition(from, to, true)
+			}
+		}
+	case ByzantineTelemetry:
+		if in.hooks.Byzantine != nil {
+			in.hooks.Byzantine(f.Target, true)
+		}
 	}
 }
 
@@ -243,6 +304,16 @@ func (in *Injector) end(f Fault) {
 	case SolverOutage:
 		if in.hooks.SolverOutage != nil {
 			in.hooks.SolverOutage(false)
+		}
+	case PartialPartition:
+		if in.hooks.PartialPartition != nil {
+			if from, to, ok := SplitDirection(f.Target); ok {
+				in.hooks.PartialPartition(from, to, false)
+			}
+		}
+	case ByzantineTelemetry:
+		if in.hooks.Byzantine != nil {
+			in.hooks.Byzantine(f.Target, false)
 		}
 	}
 }

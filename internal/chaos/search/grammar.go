@@ -1,0 +1,96 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"minkowski/internal/chaos"
+)
+
+// Grammar bounds for generated faults.
+const (
+	genMinAtS     = 900  // let the network bootstrap first
+	genTailS      = 900  // leave room to observe recovery before the run ends
+	genMinDurS    = 120  // fault windows shorter than a solve cycle teach little
+	genMaxDurS    = 1500 // bounded so quarantine drift stays under the sanity bound
+	genMaxPerKind = 2
+)
+
+// balloonID returns the deterministic initial-fleet balloon names
+// (flight launches number from hbal-001).
+func balloonID(i int) string { return fmt.Sprintf("hbal-%03d", i+1) }
+
+// gatewayIDs are the DefaultConfig ground stations.
+func gatewayIDs() []string { return []string{"gs-nairobi", "gs-kisumu", "gs-nakuru"} }
+
+// Generate draws a random fault script from the seeded grammar: 2 to
+// 4+scale faults over the run, every chaos.Kind reachable, targets
+// drawn from the deterministic initial fleet. The rng fully
+// determines the output.
+func Generate(rng *rand.Rand, seed int64, scale int, hours float64) Script {
+	s := Script{
+		Name:  fmt.Sprintf("gen-%d-s%d", seed, scale),
+		Seed:  seed,
+		Scale: scale,
+		Hours: hours,
+	}
+	fleet := 6 + 5*scale
+	gws := gatewayIDs()
+	span := hours*3600 - genMinAtS - genTailS
+	if span < 600 {
+		span = 600
+	}
+	kinds := chaos.Kinds()
+	n := 2 + rng.Intn(3+scale)
+	perKind := map[chaos.Kind]int{}
+	for len(s.Faults) < n {
+		k := kinds[rng.Intn(len(kinds))]
+		if perKind[k] >= genMaxPerKind {
+			continue
+		}
+		perKind[k]++
+		at := genMinAtS + rng.Float64()*span
+		dur := genMinDurS + rng.Float64()*(genMaxDurS-genMinDurS)
+		f := ScriptFault{Kind: k.String(), At: at, Duration: dur}
+		switch k {
+		case chaos.ControllerCrash:
+			f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+		case chaos.SatcomOutage:
+			f.Target = []string{"leo", "geo", "all"}[rng.Intn(3)]
+		case chaos.GatewayLoss:
+			f.Target = gws[rng.Intn(len(gws))]
+		case chaos.ManetPartition:
+			f.Target = balloonID(rng.Intn(fleet))
+		case chaos.AgentReboot:
+			f.Target = balloonID(rng.Intn(fleet))
+			f.Duration = 0 // impulse
+		case chaos.TelemetryStale, chaos.SolverOutage:
+			// no target
+		case chaos.PartialPartition:
+			// A directed edge between two distinct mesh members; a
+			// balloon → gateway direction is the interesting case (it
+			// silences the node's uplink), so bias toward it.
+			from := balloonID(rng.Intn(fleet))
+			var to string
+			if rng.Float64() < 0.5 {
+				to = gws[rng.Intn(len(gws))]
+			} else {
+				to = balloonID(rng.Intn(fleet))
+				for to == from {
+					to = balloonID(rng.Intn(fleet))
+				}
+			}
+			f.Target = from + ">" + to
+		case chaos.ByzantineTelemetry:
+			f.Target = balloonID(rng.Intn(fleet))
+			// Always a window: a byzantine fault with no end would
+			// never lift, and the grammar must generate revertible
+			// scripts.
+			if f.Duration <= 0 {
+				f.Duration = genMinDurS
+			}
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package search
+
+// Invariant names: the machine-checkable properties every simulation
+// trace must satisfy, whatever faults were injected. Each maps to a
+// concrete check in runner.go.
+const (
+	// InvNoDuplicateEnactment: the controller never re-commands a
+	// first establish for a link its durable journal says is already
+	// up (§6 restart safety — Controller.DuplicateEstablishes == 0).
+	InvNoDuplicateEnactment = "no-duplicate-enactment"
+	// InvNoLateSyncEnactment: no agent executes a sync-required
+	// command after its TTE (the §4.2 enactment discipline —
+	// Frontend.LateSyncEnactments() == 0).
+	InvNoLateSyncEnactment = "no-late-sync-enactment"
+	// InvBoundedRecovery: after every controller restart, the solve
+	// loop demonstrably resumes within the recovery bound.
+	InvBoundedRecovery = "bounded-recovery"
+	// InvNoRoutingLoop: at end of run, neither the MANET router
+	// snapshot nor the installed data-plane forwarding entries contain
+	// a forwarding cycle (transient mixed-generation states must have
+	// converged).
+	InvNoRoutingLoop = "no-routing-loop"
+	// InvControlConsistency: the controller's belief that a node is
+	// in-band (heartbeat freshness) implies a real node → gateway path
+	// existed within the grace window. Ghost heartbeats — liveness
+	// sustained over a direction that cannot actually deliver — break
+	// this.
+	InvControlConsistency = "control-consistency"
+	// InvPositionSanity: the controller's believed position of every
+	// operational balloon stays within a drift bound of ground truth.
+	// Blindly adopting byzantine position reports breaks this.
+	InvPositionSanity = "position-sanity"
+	// InvDeterminism: running the identical script twice produces an
+	// identical telemetry digest (journal, intents, enactments,
+	// counters, reachability).
+	InvDeterminism = "determinism"
+)
+
+// Invariants lists every invariant name the suite checks.
+func Invariants() []string {
+	return []string{
+		InvNoDuplicateEnactment, InvNoLateSyncEnactment, InvBoundedRecovery,
+		InvNoRoutingLoop, InvControlConsistency, InvPositionSanity,
+		InvDeterminism,
+	}
+}
+
+// Violation records one invariant breach with enough detail to read
+// the failure without re-running.
+type Violation struct {
+	Invariant string  `json:"invariant"`
+	At        float64 `json:"at"`
+	Detail    string  `json:"detail"`
+}

@@ -1,0 +1,54 @@
+package search
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosRepros replays every committed reproducer in
+// testdata/repros/. Each file is a shrunk script the chaos search
+// found violating an invariant under the pre-fix configuration. The
+// test asserts both directions: under the default (fixed)
+// configuration the full invariant suite passes — including the
+// determinism double-run — and under Options{PreFix: true} the
+// recorded violation still reproduces, so the corpus keeps guarding
+// the fixes it motivated.
+func TestChaosRepros(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "repros", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no reproducers in testdata/repros — the corpus should never be empty")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := LoadScript(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Violates == "" {
+				t.Fatalf("%s: repro scripts must record the invariant they violate", path)
+			}
+
+			fixed, err := Run(s, Options{CheckDeterminism: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fixed.Violations) != 0 {
+				t.Errorf("post-fix run violated %v:\n%+v", fixed.ViolatedNames(), fixed.Violations)
+			}
+
+			pre, err := Run(s, Options{PreFix: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pre.Violated(s.Violates) {
+				t.Errorf("pre-fix run no longer violates %q (got %v) — the repro has gone stale",
+					s.Violates, pre.ViolatedNames())
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package search
+
+import (
+	"fmt"
+
+	"minkowski/internal/chaos"
+	"minkowski/internal/core"
+	"minkowski/internal/geo"
+	"minkowski/internal/manet"
+)
+
+// Options tune one script execution.
+type Options struct {
+	// PreFix runs with the pre-fix compatibility knobs (symmetric
+	// in-band model, telemetry guard disabled) — the configuration the
+	// chaos search originally found its violations under. Repro tests
+	// use it to prove a committed reproducer still reproduces.
+	PreFix bool
+	// CheckDeterminism runs the script twice and compares telemetry
+	// digests (doubles the cost; the search enables it, shrinking of
+	// non-determinism violations keeps it, other shrinking drops it).
+	CheckDeterminism bool
+	// RecoveryBoundS is the time after a controller restart within
+	// which the solve loop must demonstrably resume. 0 = default
+	// (150 s: reconciliation is immediate, the next solve cycle is at
+	// most one 60 s interval away, the rest is slack).
+	RecoveryBoundS float64
+	// PositionBoundM is the maximum believed-vs-truth position error
+	// for an operational balloon. 0 = default (200 km: a quarantined
+	// node's frozen fix drifts at most MaxSpeed × window, the
+	// byzantine spoof is 250 km).
+	PositionBoundM float64
+	// GhostGraceS is how long a node may look in-band (fresh
+	// heartbeats) with no real up-path before it counts as a ghost.
+	// 0 = default (30 s: heartbeat timeout + probe cadence + mesh
+	// convergence).
+	GhostGraceS float64
+}
+
+func (o Options) recoveryBound() float64 {
+	if o.RecoveryBoundS > 0 {
+		return o.RecoveryBoundS
+	}
+	return 150
+}
+
+func (o Options) positionBound() float64 {
+	if o.PositionBoundM > 0 {
+		return o.PositionBoundM
+	}
+	return 200e3
+}
+
+func (o Options) ghostGrace() float64 {
+	if o.GhostGraceS > 0 {
+		return o.GhostGraceS
+	}
+	return 30
+}
+
+// Result is one script execution's verdict.
+type Result struct {
+	Script     Script      `json:"script"`
+	Violations []Violation `json:"violations,omitempty"`
+	// Digest is the run's telemetry digest (determinism evidence).
+	Digest uint64 `json:"digest"`
+	// Counters snapshotted at end of run.
+	DuplicateEstablishes int `json:"duplicateEstablishes"`
+	LateSyncEnactments   int `json:"lateSyncEnactments"`
+	Crashes              int `json:"crashes"`
+	GuardRejected        int `json:"guardRejected"`
+}
+
+// Violated reports whether the named invariant was breached.
+func (r Result) Violated(name string) bool {
+	for _, v := range r.Violations {
+		if v.Invariant == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ViolatedNames returns the distinct violated invariant names in
+// first-seen order.
+func (r Result) ViolatedNames() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range r.Violations {
+		if !seen[v.Invariant] {
+			seen[v.Invariant] = true
+			out = append(out, v.Invariant)
+		}
+	}
+	return out
+}
+
+// config maps a script + options onto a controller scenario. The
+// sizing matches internal/experiments' scale mapping; the cadence
+// knobs match the fast chaos-test profile so trials stay cheap.
+func config(s Script, opts Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.FleetSize = s.FleetSize()
+	cfg.SolveIntervalS = 60
+	cfg.AgentConnCheckS = 5
+	cfg.DisablePower = true
+	if opts.PreFix {
+		cfg.SymmetricInBand = true
+		cfg.DisableTelemetryGuard = true
+	}
+	return cfg
+}
+
+// Run executes a script and checks the invariant suite over its
+// trace. With CheckDeterminism it runs the script twice and also
+// checks digest equality.
+func Run(s Script, opts Options) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	res, err := runOnce(s, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.CheckDeterminism {
+		again, err := runOnce(s, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		if again.Digest != res.Digest {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: InvDeterminism,
+				At:        s.Hours * 3600,
+				Detail: fmt.Sprintf("telemetry digest diverged across identical runs: %x vs %x",
+					res.Digest, again.Digest),
+			})
+		}
+	}
+	return res, nil
+}
+
+// crashWindow is a controller-crash fault's [start, restart] span.
+type crashWindow struct{ start, end float64 }
+
+// runOnce builds a fresh world, injects the script, runs it with the
+// invariant probes installed, and evaluates the end-of-run checks.
+func runOnce(s Script, opts Options) (Result, error) {
+	scn, err := s.Scenario()
+	if err != nil {
+		return Result{}, err
+	}
+	c := core.New(config(s, opts))
+	c.InstallChaos(scn)
+
+	var violations []Violation
+	record := func(inv, detail string) {
+		violations = append(violations, Violation{
+			Invariant: inv, At: c.Eng.Now(), Detail: detail,
+		})
+	}
+
+	// --- bounded-recovery probes (per controller-crash fault) -------
+	bound := opts.recoveryBound()
+	var crashes []crashWindow
+	for _, f := range scn.Faults {
+		if f.Kind == chaos.ControllerCrash && f.Duration > 0 {
+			crashes = append(crashes, crashWindow{f.At, f.At + f.Duration})
+		}
+	}
+	horizon := s.Hours * 3600
+	for i, cw := range crashes {
+		// Skip windows whose recovery span collides with another crash:
+		// "recovered" is unobservable while a second fault holds the
+		// controller down.
+		restart, deadline := cw.end, cw.end+bound
+		if deadline >= horizon {
+			continue
+		}
+		clear := true
+		for j, other := range crashes {
+			if j != i && other.start < deadline && other.end > restart {
+				clear = false
+				break
+			}
+		}
+		if !clear {
+			continue
+		}
+		var solvesAtRestart int
+		capturedAt := restart + 1
+		c.Eng.At(capturedAt, func() { solvesAtRestart = c.SolveRuns })
+		c.Eng.At(deadline, func() {
+			if c.Down() {
+				record(InvBoundedRecovery,
+					fmt.Sprintf("controller still down %.0fs after restart at t=%.0fs", bound, restart))
+				return
+			}
+			if c.SolveRuns <= solvesAtRestart {
+				record(InvBoundedRecovery,
+					fmt.Sprintf("no solve cycle completed within %.0fs of restart at t=%.0fs", bound, restart))
+			}
+		})
+	}
+
+	// --- control-consistency probe (ghost heartbeats) ---------------
+	grace := opts.ghostGrace()
+	const ghostProbeS = 5
+	ghostFor := map[string]float64{}
+	ghosted := map[string]bool{} // one violation per node per episode
+	c.Eng.Every(ghostProbeS, func() bool {
+		for _, id := range c.Net.Nodes() {
+			up := c.Frontend.InBandUp(id)
+			_, realUp := c.InBand.PathUp(id)
+			if up && !realUp {
+				ghostFor[id] += ghostProbeS
+				if ghostFor[id] > grace && !ghosted[id] {
+					ghosted[id] = true
+					record(InvControlConsistency,
+						fmt.Sprintf("%s looks in-band (fresh heartbeats) but has had no real up-path for %.0fs",
+							id, ghostFor[id]))
+				}
+			} else {
+				ghostFor[id] = 0
+				ghosted[id] = false
+			}
+		}
+		return true
+	})
+
+	// --- position-sanity probe --------------------------------------
+	posBound := opts.positionBound()
+	posViolated := map[string]bool{}
+	c.Eng.Every(60, func() bool {
+		for id, n := range c.Fleet.Balloons {
+			if !n.Operational() || posViolated[id] {
+				continue
+			}
+			est, ok := c.EstimatedPosition(id)
+			if !ok {
+				continue
+			}
+			if d := geo.SlantRange(est, n.Position()); d > posBound {
+				posViolated[id] = true
+				record(InvPositionSanity,
+					fmt.Sprintf("controller believes %s is %.0f km from its true position (bound %.0f km)",
+						id, d/1e3, posBound/1e3))
+			}
+		}
+		return true
+	})
+
+	c.RunHours(s.Hours)
+
+	// --- end-of-run checks ------------------------------------------
+	if c.DuplicateEstablishes > 0 {
+		record(InvNoDuplicateEnactment,
+			fmt.Sprintf("%d duplicate establish commands for journaled up links", c.DuplicateEstablishes))
+	}
+	if late := c.Frontend.LateSyncEnactments(); late > 0 {
+		record(InvNoLateSyncEnactment,
+			fmt.Sprintf("%d sync-required commands enacted after their TTE", late))
+	}
+	if loop, found := manet.FindLoop(c.Router, c.Net.Nodes()); found {
+		record(InvNoRoutingLoop,
+			fmt.Sprintf("router snapshot loops %v forwarding %s→%s", loop.Cycle, loop.Src, loop.Dst))
+	}
+	for _, r := range c.Data.Routes() {
+		if len(r.Path) < 2 {
+			continue
+		}
+		if cycle, found := dataplaneLoop(c, r.ID, r.Path[0], r.Path[len(r.Path)-1]); found {
+			record(InvNoRoutingLoop,
+				fmt.Sprintf("data-plane entries for %s loop %v", r.ID, cycle))
+		}
+	}
+
+	return Result{
+		Script:               s,
+		Violations:           violations,
+		Digest:               c.TelemetryDigest(),
+		DuplicateEstablishes: c.DuplicateEstablishes,
+		LateSyncEnactments:   c.Frontend.LateSyncEnactments(),
+		Crashes:              c.Crashes,
+		GuardRejected:        c.PosGuard.Rejected,
+	}, nil
+}
+
+// dataplaneLoop walks a route's installed forwarding entries
+// (whatever their generations) from src toward dst, reporting a cycle
+// if the walk revisits a node. Dead ends are fine — partial
+// programming is a fact of life — but a persistent cycle means
+// packets orbit.
+func dataplaneLoop(c *core.Controller, routeID, src, dst string) ([]string, bool) {
+	seen := map[string]bool{src: true}
+	walk := []string{src}
+	cur := src
+	for i := 0; i < 4096; i++ {
+		nh, _, ok := c.Data.NextHopFor(cur, routeID)
+		if !ok || nh == dst {
+			return nil, false
+		}
+		walk = append(walk, nh)
+		if seen[nh] {
+			return walk, true
+		}
+		seen[nh] = true
+		cur = nh
+	}
+	return walk, true
+}

@@ -1,0 +1,139 @@
+package search
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// SearchConfig parameterizes a search campaign.
+type SearchConfig struct {
+	// Seed is the master seed; trial i derives its own seed from it.
+	Seed int64
+	// Trials is the number of independent generated scripts.
+	Trials int
+	// Scale is the fleet scale (1..3).
+	Scale int
+	// Hours is each trial's simulated duration (default 3).
+	Hours float64
+	// Workers bounds concurrent trials (default 4). Parallelism never
+	// changes results: each trial is seeded independently and results
+	// are indexed by trial.
+	Workers int
+	// Opts are the per-run options (PreFix, bounds). Determinism
+	// checking is always on for trials.
+	Opts Options
+	// ShrinkBudget caps candidate runs per shrink (default
+	// DefaultShrinkBudget).
+	ShrinkBudget int
+}
+
+// TrialResult is one trial's outcome.
+type TrialResult struct {
+	Trial int    `json:"trial"`
+	Seed  int64  `json:"seed"`
+	Error string `json:"error,omitempty"`
+	// Script is the generated script.
+	Script Script `json:"script"`
+	// Violations found on the generated script.
+	Violations []Violation `json:"violations,omitempty"`
+	// Shrunk is the minimized reproducer for the first violated
+	// invariant, when any violation was found and shrinking succeeded.
+	Shrunk *Script `json:"shrunk,omitempty"`
+	// ShrinkRuns counts simulations the shrink spent.
+	ShrinkRuns int `json:"shrinkRuns,omitempty"`
+}
+
+// Report is the whole campaign's outcome (the chaosearch JSON).
+type Report struct {
+	Seed       int64         `json:"seed"`
+	Trials     int           `json:"trials"`
+	Scale      int           `json:"scale"`
+	Hours      float64       `json:"hours"`
+	PreFix     bool          `json:"preFix"`
+	Results    []TrialResult `json:"results"`
+	Violating  int           `json:"violating"`
+	Shrunk     int           `json:"shrunk"`
+	Invariants []string      `json:"invariants"`
+}
+
+// mixSeed derives trial i's seed from the master seed (splitmix64
+// finalizer: adjacent trials land far apart in seed space).
+func mixSeed(master int64, trial int) int64 {
+	z := uint64(master) + 0x9e3779b97f4a7c15*uint64(trial+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// Search runs the campaign: Trials generated scripts, each executed
+// with the invariant suite (determinism check included), violations
+// shrunk to minimal reproducers. Deterministic in (Seed, Trials,
+// Scale, Hours, Opts) regardless of Workers.
+func Search(cfg SearchConfig) Report {
+	if cfg.Hours <= 0 {
+		cfg.Hours = 3
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	results := make([]TrialResult, cfg.Trials)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Trials; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = runTrial(cfg, i)
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{
+		Seed: cfg.Seed, Trials: cfg.Trials, Scale: cfg.Scale,
+		Hours: cfg.Hours, PreFix: cfg.Opts.PreFix,
+		Results: results, Invariants: Invariants(),
+	}
+	for _, r := range results {
+		if len(r.Violations) > 0 {
+			rep.Violating++
+		}
+		if r.Shrunk != nil {
+			rep.Shrunk++
+		}
+	}
+	return rep
+}
+
+// runTrial generates, runs, and (on violation) shrinks one trial.
+func runTrial(cfg SearchConfig, trial int) TrialResult {
+	seed := mixSeed(cfg.Seed, trial)
+	rng := rand.New(rand.NewSource(seed))
+	script := Generate(rng, seed, cfg.Scale, cfg.Hours)
+	tr := TrialResult{Trial: trial, Seed: seed, Script: script}
+
+	opts := cfg.Opts
+	opts.CheckDeterminism = true
+	res, err := Run(script, opts)
+	if err != nil {
+		tr.Error = err.Error()
+		return tr
+	}
+	tr.Violations = res.Violations
+	if len(res.Violations) == 0 {
+		return tr
+	}
+	inv := res.Violations[0].Invariant
+	shrunk, runs, err := Shrink(script, inv, cfg.Opts, cfg.ShrinkBudget)
+	tr.ShrinkRuns = runs
+	if err != nil {
+		tr.Error = err.Error()
+		return tr
+	}
+	tr.Shrunk = &shrunk
+	return tr
+}

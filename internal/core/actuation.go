@@ -395,10 +395,16 @@ func (c *Controller) onLinkUp(l *radio.Link) {
 		delete(c.arms, l.ID)
 	}
 	// Fig. 10: compare the radios' measurement with the model's
-	// expectation for B2B links.
+	// expectation for B2B links. A byzantine endpoint inflates its
+	// reported margin; the calibration sample's plausibility bound is
+	// what keeps the lie out of the distribution.
 	if !l.IsB2G() {
 		if rep := c.Evaluator.EvaluatePair(l.XA, l.XB, 0); rep != nil {
-			c.ModelErr.Record(l.Measured.RxPowerDBm, rep.Budget.RxPowerDBm)
+			measured := l.Measured.RxPowerDBm
+			if c.byzantine[l.XA.Node.ID] || c.byzantine[l.XB.Node.ID] {
+				measured += byzantineMarginSpoofDB
+			}
+			c.ModelErr.Record(measured, rep.Budget.RxPowerDBm)
 		}
 	}
 }

@@ -41,6 +41,19 @@ func (c *Controller) InstallChaos(s chaos.Scenario) *chaos.Injector {
 			c.solverDown = down
 			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "solver", "outage=%v", down)
 		},
+		PartialPartition: func(from, to string, blocked bool) {
+			c.Net.SetDeaf(from, to, blocked)
+			// The mesh lost (or regained) a directed edge; let the
+			// router converge around it.
+			c.Router.TopologyChanged()
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, from+">"+to,
+				"partial partition blocked=%v (one direction only)", blocked)
+		},
+		Byzantine: func(node string, active bool) {
+			c.SetByzantine(node, active)
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, node,
+				"byzantine telemetry active=%v (spoofed positions and margins)", active)
+		},
 	})
 	inj.Schedule(s)
 	return inj
@@ -157,7 +170,9 @@ func (c *Controller) setGatewayDown(gs string, down bool) {
 // (empty dedupe memory, disconnected) replaces the old one. The
 // actuation loop re-pushes whatever the node should hold.
 func (c *Controller) rebootAgent(node string) {
-	c.Frontend.RebootAgent(node)
+	if a := c.Frontend.RebootAgent(node); a != nil {
+		c.attachReporter(a) // the fresh agent reports like its predecessor
+	}
 	c.Fabric.FailNode(node, radio.ReasonPowerLoss)
 	c.Data.FlushNode(node)
 	c.Log.Append(c.Eng.Now(), explain.EvAnomaly, node, "agent rebooted with config wipe")

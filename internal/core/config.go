@@ -110,7 +110,36 @@ type Config struct {
 	// attempts. The zero value preserves the paper's production
 	// behaviour — "links were retried repeatedly", immediately; set a
 	// policy to adopt the unified capped-exponential backoff.
+	// EXPERIMENTS.md §retry-policy compares both and settles the
+	// default: backoff saves no re-dispatches here but costs real
+	// availability (even second-scale waits burn short-lived
+	// candidate windows), so the default stays immediate. Backoff
+	// remains the right tool where the channel itself is expensive
+	// (satcom command retries already use it).
 	EstablishRetry backoff.Policy
+
+	// --- Byzantine-telemetry / partial-partition knobs --------------
+
+	// DisableTelemetryGuard switches off the position-plausibility
+	// gate, making the controller adopt self-reported positions
+	// blindly — the pre-fix behaviour the chaos search exploits. Tests
+	// only; the guard is on by default.
+	DisableTelemetryGuard bool
+	// GuardMaxSpeedMS / GuardSlackM override the guard's plausibility
+	// envelope (fastest credible platform speed, fix-jitter slack)
+	// when > 0.
+	GuardMaxSpeedMS float64
+	GuardSlackM     float64
+	// ByzantineMarginRejectDB bounds the |measured − modelled| link
+	// margin admitted into the Fig. 10 calibration sample: honest
+	// model error is a few dB, so anything beyond the bound is treated
+	// as byzantine or broken instrumentation and dropped. 0 keeps the
+	// default (30 dB); negative disables the bound.
+	ByzantineMarginRejectDB float64
+	// SymmetricInBand restores the pre-directional in-band model where
+	// the node → EC direction reuses the EC → node path, resurrecting
+	// the ghost-heartbeat failure under partial partitions. Tests only.
+	SymmetricInBand bool
 
 	// --- Ablation knobs (zero values = production behaviour) ---
 

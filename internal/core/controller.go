@@ -76,6 +76,8 @@ type Controller struct {
 	// re-actuation of work the controller's durable record says it
 	// already did. Correct restart reconciliation keeps this at zero.
 	Crashes, Readopted, ExpiredOnRestart, DuplicateEstablishes int
+	// PosGuard gates self-reported node positions (byzantine defense).
+	PosGuard *telemetry.PositionGuard
 
 	gateways []string
 	todOff   float64
@@ -101,6 +103,12 @@ type Controller struct {
 	// solverDown fails every solve (chaos: solver brown-out); the
 	// controller keeps actuating its last-known-good plan.
 	solverDown bool
+	// byzantine marks nodes under an active byzantine-telemetry fault:
+	// their agents report spoofed positions and margins.
+	byzantine map[string]bool
+	// reported holds the latest blindly-adopted self-reports, used only
+	// when the telemetry guard is disabled (pre-fix behaviour).
+	reported map[string]geo.LLA
 }
 
 // New builds and wires a controller; call Run to simulate.
@@ -139,7 +147,10 @@ func New(cfg Config) *Controller {
 	fabric.OnUp = nil // set below after controller exists
 
 	sat := satcom.NewGateway(eng, satcom.DefaultProviders())
-	ib := &cdpi.InBand{Eng: eng, Router: router, Net: net, Gateways: gateways, WiredOneWayS: 0.025}
+	ib := &cdpi.InBand{
+		Eng: eng, Router: router, Net: net, Gateways: gateways,
+		WiredOneWayS: 0.025, SymmetricCompat: cfg.SymmetricInBand,
+	}
 	agentCfg := cdpi.DefaultAgentConfig()
 	if cfg.AgentConnCheckS > 0 {
 		agentCfg.ConnCheckIntervalS = cfg.AgentConnCheckS
@@ -204,7 +215,8 @@ func New(cfg Config) *Controller {
 		RecoveryCtrl: telemetry.NewRecovery(),
 		Redund:       &telemetry.Redundancy{},
 		Churn:        &telemetry.Churn{},
-		ModelErr:     &telemetry.ModelError{},
+		ModelErr:     &telemetry.ModelError{MaxAbsDB: marginBound(cfg)},
+		PosGuard:     newPositionGuard(cfg),
 		Log:          &explain.Log{Cap: 200000},
 		Scrubber:     &explain.Scrubber{Cap: 5000},
 		Journal:      NewJournal(),
@@ -214,6 +226,8 @@ func New(cfg Config) *Controller {
 		wasOn:        map[string]bool{},
 		linkFails:    map[radio.LinkID]*failMemory{},
 		gwDown:       map[string]bool{},
+		byzantine:    map[string]bool{},
+		reported:     map[string]geo.LLA{},
 	}
 	evalCfg := linkeval.DefaultConfig()
 	evalCfg.DropMarginal = cfg.DropMarginalLinks
@@ -224,6 +238,7 @@ func New(cfg Config) *Controller {
 
 	fabric.OnUp = c.onLinkUp
 	fabric.OnDown = c.onLinkDown
+	fe.OnPositionReport = c.onPositionReport
 	// Register every initial node's SDN agent now — ground stations
 	// never appear in fleet join events, and the first solve cycle
 	// fires before the first fleet step.
@@ -237,8 +252,14 @@ func New(cfg Config) *Controller {
 
 // predictPosition serves the Link Evaluator: current GPS position at
 // lead 0; the FMS's frozen-field trajectory forecast for future
-// leads.
+// leads. When telemetry overrides the controller's belief (a
+// quarantined node's frozen fix, or a blindly-adopted report with the
+// guard disabled), that estimate is served for every lead — the
+// controller has no trajectory model for a position it didn't derive.
 func (c *Controller) predictPosition(n *platform.Node, lead float64) (p geo.LLA) {
+	if est, ok := c.estimatedPosition(n); ok {
+		return est
+	}
 	if n.Kind == platform.KindGround || lead <= 0 {
 		return n.Position()
 	}
@@ -257,6 +278,12 @@ func (c *Controller) predictPosition(n *platform.Node, lead float64) (p geo.LLA)
 // falls back to per-lead prediction.
 func (c *Controller) predictPositionsBatch(n *platform.Node, leads []float64) []geo.LLA {
 	out := make([]geo.LLA, len(leads))
+	if est, ok := c.estimatedPosition(n); ok {
+		for i := range out {
+			out[i] = est
+		}
+		return out
+	}
 	fill := func() {
 		for i, l := range leads {
 			out[i] = c.predictPosition(n, l)
@@ -425,9 +452,13 @@ func (c *Controller) stepFleet(dt float64) {
 // registerNode attaches a CDPI agent to a node.
 func (c *Controller) registerNode(n *platform.Node) {
 	node := n.ID
-	c.Frontend.Register(node, cdpi.EnactorFunc(func(cmd *cdpi.Command, done func(bool)) {
+	a := c.Frontend.Register(node, cdpi.EnactorFunc(func(cmd *cdpi.Command, done func(bool)) {
 		c.enact(node, cmd, done)
 	}))
+	c.attachReporter(a)
+	// Seed the plausibility gate with the controller's own model, so a
+	// byzantine node cannot poison the reference with its first report.
+	c.PosGuard.Seed(node, n.Position(), c.Eng.Now())
 	c.wasOn[node] = n.Operational()
 }
 

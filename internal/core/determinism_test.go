@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"minkowski/internal/chaos"
 )
 
 // TestEndToEndDeterminism is the regression test the vet suite exists
@@ -36,6 +38,69 @@ func TestEndToEndDeterminism(t *testing.T) {
 			fmt.Fprintf(&buf, "cand %v lead=%v budget=%+v class=%v dist=%v atmos=%v b2g=%v\n",
 				r.ID, r.Lead, r.Budget, r.Class, r.DistM, r.AtmosDB, r.B2G)
 		}
+		return buf.Bytes()
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		n := len(la)
+		if len(lb) < n {
+			n = len(lb)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("runs diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("runs diverge in length: %d vs %d lines", len(la), len(lb))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty journal + graph — scenario produced no activity")
+	}
+}
+
+// TestEndToEndDeterminismScale3Chaos extends the determinism
+// regression to the largest fleet under an adversarial fault script:
+// a controller crash, an asymmetric (one-direction) partition, and a
+// byzantine telemetry window all firing in one run. Same seed + same
+// script twice must still produce a byte-identical dispatch journal
+// and candidate graph — fault handling (quarantine, deaf-edge
+// rerouting, crash reconciliation) must not introduce any
+// order-dependent or wall-clock state.
+func TestEndToEndDeterminismScale3Chaos(t *testing.T) {
+	script := chaos.Scenario{
+		Name: "determinism-scale3",
+		Faults: []chaos.Fault{
+			{Kind: chaos.ControllerCrash, At: 1200, Duration: 300},
+			{Kind: chaos.PartialPartition, Target: "hbal-004>gs-nairobi", At: 2400, Duration: 600},
+			{Kind: chaos.ByzantineTelemetry, Target: "hbal-013", At: 3000, Duration: 900},
+		},
+	}
+	run := func() []byte {
+		cfg := DefaultConfig()
+		cfg.Seed = 11
+		cfg.FleetSize = 21 // experiments.baseScenario at scale 3
+		cfg.SolveIntervalS = 120
+		cfg.AgentConnCheckS = 10
+		c := New(cfg)
+		c.InstallChaos(script)
+		c.RunHours(2)
+
+		var buf bytes.Buffer
+		for _, li := range c.Journal.Links() {
+			fmt.Fprintf(&buf, "link %+v\n", *li)
+		}
+		for _, ri := range c.Journal.Routes() {
+			fmt.Fprintf(&buf, "route %+v\n", *ri)
+		}
+		graph := c.Evaluator.CandidateGraph(c.Fleet.Transceivers(), c.Cfg.PredictiveLeadS)
+		for _, r := range graph {
+			fmt.Fprintf(&buf, "cand %v lead=%v budget=%+v class=%v dist=%v atmos=%v b2g=%v\n",
+				r.ID, r.Lead, r.Budget, r.Class, r.DistM, r.AtmosDB, r.B2G)
+		}
+		fmt.Fprintf(&buf, "digest %x crashes %d rejected %d\n",
+			c.TelemetryDigest(), c.Crashes, c.PosGuard.Rejected)
 		return buf.Bytes()
 	}
 	a := run()

@@ -123,6 +123,15 @@ func (s *State) HasEntry(node, routeID string, gen int) bool {
 	return ok && e.gen == gen
 }
 
+// NextHopFor returns the node's installed forwarding entry for a
+// route, whatever its generation — the hop a packet would actually
+// take. The chaos search walks these to find persistent
+// mixed-generation forwarding loops.
+func (s *State) NextHopFor(node, routeID string) (nextHop string, gen int, ok bool) {
+	e, ok := s.entries[node][routeID]
+	return e.nextHop, e.gen, ok
+}
+
 // DeclareRoute registers the intended route (before programming).
 func (s *State) DeclareRoute(r *Route) { s.routes[r.ID] = r }
 

@@ -1,0 +1,117 @@
+package manet
+
+import (
+	"testing"
+
+	"minkowski/internal/sim"
+)
+
+func TestStaticNetworkOneWayEdges(t *testing.T) {
+	net := NewStaticNetwork()
+	net.ConnectOneWay("a", "b")
+	if !contains(net.Neighbors("a"), "b") {
+		t.Error("a should hear b after ConnectOneWay(a, b)")
+	}
+	if contains(net.Neighbors("b"), "a") {
+		t.Error("one-way edge must not create the reverse direction")
+	}
+
+	// A symmetric link degraded to one-way: only the removed direction
+	// disappears.
+	net.Connect("c", "d")
+	net.DisconnectOneWay("c", "d")
+	if contains(net.Neighbors("c"), "d") {
+		t.Error("c→d should be gone after DisconnectOneWay")
+	}
+	if !contains(net.Neighbors("d"), "c") {
+		t.Error("d→c must survive DisconnectOneWay(c, d)")
+	}
+}
+
+func TestFastRouterHonorsAsymmetry(t *testing.T) {
+	// gs ← b1 exists but gs → b1 does not: the fast router's
+	// gateway-rooted tree must not offer b1 a route that depends on
+	// the dead direction, and traffic b1 → gs must still work over
+	// the surviving direction.
+	eng := sim.New(1)
+	net := NewStaticNetwork()
+	net.Connect("gs", "b1")
+	net.Connect("b1", "b2")
+	f := NewFast(eng, net, 0.5)
+	eng.Run(2)
+	if _, ok := PathFrom(f, "b2", "gs"); !ok {
+		t.Fatal("precondition: symmetric route up")
+	}
+
+	// Kill only b1's transmissions toward gs (the chaos
+	// partial-partition direction): the up-path must disappear while
+	// the gateway can still reach b1.
+	net.DisconnectOneWay("b1", "gs")
+	f.TopologyChanged()
+	eng.Run(eng.Now() + 2)
+	if _, ok := PathFrom(f, "b2", "gs"); ok {
+		t.Error("up-path should be dead: b1 can no longer transmit to gs")
+	}
+	if _, ok := PathFrom(f, "gs", "b2"); !ok {
+		t.Error("down-path gs→b2 must survive the one-way cut")
+	}
+}
+
+func TestFindLoopDetectsCycle(t *testing.T) {
+	loop, found := FindLoop(loopRouter{}, []string{"a", "b", "z"})
+	if !found {
+		t.Fatal("the ping-pong router must report a loop")
+	}
+	if len(loop.Cycle) < 2 {
+		t.Errorf("cycle %v too short to be a loop", loop.Cycle)
+	}
+}
+
+func TestFindLoopIgnoresDeadEnds(t *testing.T) {
+	// A partitioned line: b02 has no next hop toward gs. That is a
+	// dead end (packets drop), not a loop (packets orbit) — FindLoop
+	// must stay quiet where PathFrom conflates the two.
+	eng := sim.New(1)
+	net := lineTopology(3)
+	net.Disconnect("b01", "gs")
+	f := NewFast(eng, net, 0.5)
+	eng.Run(2)
+	if loop, found := FindLoop(f, net.Nodes()); found {
+		t.Errorf("dead-end topology reported as loop: %+v", loop)
+	}
+}
+
+// TestDSDVSnapshotLoopFree churns a mesh and asserts the DSDV routing
+// snapshot stays loop-free at every settle point — the
+// sequence-number machinery exists precisely to prevent the
+// count-to-infinity loops of plain distance-vector.
+func TestDSDVSnapshotLoopFree(t *testing.T) {
+	eng := sim.New(3)
+	net := meshTopology(8)
+	d := NewDSDV(eng, net, DefaultDSDVConfig())
+	d.Start()
+	eng.Run(30)
+	for round := 0; round < 4; round++ {
+		if round%2 == 0 {
+			net.Disconnect("b08", "b07")
+			net.Disconnect("b04", "b03")
+		} else {
+			net.Connect("b08", "b07")
+			net.Connect("b04", "b03")
+		}
+		eng.Run(eng.Now() + 20)
+		if loop, found := FindLoop(d, net.Nodes()); found {
+			t.Fatalf("round %d: DSDV snapshot loops %v forwarding %s→%s",
+				round, loop.Cycle, loop.Src, loop.Dst)
+		}
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

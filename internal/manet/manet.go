@@ -169,6 +169,22 @@ func (s *StaticNetwork) Disconnect(a, b string) {
 	}
 }
 
+// ConnectOneWay adds only the a → b direction (asymmetric-link
+// topologies for partial-partition tests).
+func (s *StaticNetwork) ConnectOneWay(a, b string) {
+	s.AddNode(a)
+	s.AddNode(b)
+	s.adj[a][b] = true
+}
+
+// DisconnectOneWay removes only the a → b direction, leaving b → a
+// intact: the static-topology equivalent of a partial partition.
+func (s *StaticNetwork) DisconnectOneWay(a, b string) {
+	if s.adj[a] != nil {
+		delete(s.adj[a], b)
+	}
+}
+
 // Nodes implements Network.
 func (s *StaticNetwork) Nodes() []string {
 	out := make([]string, 0, len(s.nodes))

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"sort"
+
+	"minkowski/internal/geo"
+)
+
+// PositionGuard is the controller-side plausibility gate for
+// self-reported node positions. A byzantine (or just broken) GPS can
+// report anywhere on Earth; planning pointing geometry from a lie
+// wastes both endpoints' radios for a full establish cycle. The guard
+// holds each node's last accepted fix and rejects any report that
+// would require the platform to out-run a stratospheric balloon:
+// implausible reports quarantine the node, freezing the controller's
+// estimate at the last good fix until plausible telemetry resumes.
+type PositionGuard struct {
+	// MaxSpeedMS is the fastest credible platform ground speed.
+	// Balloons ride the wind: ~50 m/s jet-stream drift is extreme, so
+	// the default leaves generous headroom.
+	MaxSpeedMS float64
+	// SlackM absorbs fix jitter and the report-vs-sample skew of a
+	// heartbeat in flight, so short inter-report gaps don't reject
+	// honest noise.
+	SlackM float64
+
+	// Accepted / Rejected count gate decisions.
+	Accepted, Rejected int
+
+	last map[string]fix
+}
+
+type fix struct {
+	pos geo.LLA
+	at  float64
+	// quarantined marks the node's reports currently implausible.
+	quarantined bool
+}
+
+// NewPositionGuard returns a guard with the default envelope:
+// 80 m/s credible speed and 2 km of slack.
+func NewPositionGuard() *PositionGuard {
+	return &PositionGuard{MaxSpeedMS: 80, SlackM: 2000, last: map[string]fix{}}
+}
+
+// Seed installs a trusted initial fix (the controller's own model at
+// node registration), so a byzantine node cannot poison the reference
+// with its very first report.
+func (g *PositionGuard) Seed(node string, pos geo.LLA, at float64) {
+	if g.last == nil {
+		g.last = map[string]fix{}
+	}
+	g.last[node] = fix{pos: pos, at: at}
+}
+
+// Observe gates one self-reported position at time now. It returns
+// true when the report is plausible (and adopts it as the node's new
+// reference); false quarantines the node until a plausible report
+// arrives.
+func (g *PositionGuard) Observe(node string, pos geo.LLA, now float64) bool {
+	if g.last == nil {
+		g.last = map[string]fix{}
+	}
+	prev, ok := g.last[node]
+	if !ok {
+		// Unseeded node: adopt the first report (nothing to test
+		// against). Callers that can Seed should.
+		g.last[node] = fix{pos: pos, at: now}
+		g.Accepted++
+		return true
+	}
+	dt := now - prev.at
+	if dt < 0 {
+		dt = 0
+	}
+	limit := g.MaxSpeedMS*dt + g.SlackM
+	if geo.SlantRange(prev.pos, pos) <= limit {
+		g.last[node] = fix{pos: pos, at: now}
+		g.Accepted++
+		return true
+	}
+	// Implausible: keep the old reference (advancing its timestamp
+	// would let a patient attacker walk the envelope outward) and mark
+	// the node quarantined.
+	prev.quarantined = true
+	g.last[node] = prev
+	g.Rejected++
+	return false
+}
+
+// Quarantined reports whether the node's latest report was rejected
+// and no plausible report has arrived since.
+func (g *PositionGuard) Quarantined(node string) bool {
+	return g.last[node].quarantined
+}
+
+// LastGood returns the node's last accepted fix, if any.
+func (g *PositionGuard) LastGood(node string) (geo.LLA, float64, bool) {
+	f, ok := g.last[node]
+	if !ok {
+		return geo.LLA{}, 0, false
+	}
+	return f.pos, f.at, true
+}
+
+// QuarantinedNodes lists currently quarantined nodes, sorted.
+func (g *PositionGuard) QuarantinedNodes() []string {
+	var out []string
+	for n, f := range g.last {
+		if f.quarantined {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -245,11 +245,25 @@ func (ll *LinkLife) UnexpectedEndFrac() (overall, b2g, b2b float64) {
 // shift).
 type ModelError struct {
 	Errors stats.Sample
+	// MaxAbsDB, when positive, rejects samples whose absolute error
+	// exceeds it: honest model error is a few dB (the paper's Fig. 10
+	// spread), so a report tens of dB off is byzantine or broken
+	// instrumentation, not physics — folding it into the distribution
+	// would poison the calibration.
+	MaxAbsDB float64
+	// Rejected counts samples the bound discarded.
+	Rejected int
 }
 
-// Record adds one comparison sample.
+// Record adds one comparison sample, unless it exceeds the
+// plausibility bound.
 func (me *ModelError) Record(measuredRxDBm, modelledRxDBm float64) {
-	me.Errors.Add(measuredRxDBm - modelledRxDBm)
+	err := measuredRxDBm - modelledRxDBm
+	if me.MaxAbsDB > 0 && (err > me.MaxAbsDB || err < -me.MaxAbsDB) {
+		me.Rejected++
+		return
+	}
+	me.Errors.Add(err)
 }
 
 // --- Fig. 8: route recovery ------------------------------------------

@@ -87,6 +87,14 @@ const (
 	AgentReboot     = chaos.AgentReboot     // node agent restarts with config wipe
 	TelemetryStale  = chaos.TelemetryStale  // weather gauge ingestion freezes
 	SolverOutage    = chaos.SolverOutage    // plan authoring unavailable
+
+	// PartialPartition blocks ONE direction of a mesh edge (target
+	// "a>b" silences a's transmissions toward b); the reverse
+	// direction keeps working.
+	PartialPartition = chaos.PartialPartition
+	// ByzantineTelemetry makes a node report spoofed positions and
+	// inflated link margins until the window ends.
+	ByzantineTelemetry = chaos.ByzantineTelemetry
 )
 
 // StandardChaos returns the standard fault script: a controller crash
