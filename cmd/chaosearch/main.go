@@ -20,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"minkowski/internal/chaos"
 	"minkowski/internal/chaos/search"
 )
 
@@ -32,19 +34,31 @@ func main() {
 		hours   = flag.Float64("hours", 3, "simulated hours per trial")
 		workers = flag.Int("workers", 4, "concurrent trials (does not affect results)")
 		out     = flag.String("out", "", "write the JSON report here (default stdout)")
-		prefix  = flag.Bool("prefix", false, "run with the pre-fix compat knobs (symmetric in-band, no telemetry guard)")
+		prefix  = flag.Bool("prefix", false, "run with the pre-fix compat knobs (symmetric in-band, no telemetry guard, no epoch fencing)")
 		budget  = flag.Int("shrink-budget", search.DefaultShrinkBudget, "max candidate runs per shrink")
+		kindsCS = flag.String("kinds", "", "comma-separated fault kinds to restrict the grammar to (default all)")
 	)
 	flag.Parse()
 	if *scale < 1 || *scale > 3 {
 		fmt.Fprintln(os.Stderr, "chaosearch: -scale must be 1..3")
 		os.Exit(2)
 	}
+	var kinds []chaos.Kind
+	if *kindsCS != "" {
+		for _, name := range strings.Split(*kindsCS, ",") {
+			k, err := chaos.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosearch:", err)
+				os.Exit(2)
+			}
+			kinds = append(kinds, k)
+		}
+	}
 
 	rep := search.Search(search.SearchConfig{
 		Seed: *seed, Trials: *trials, Scale: *scale, Hours: *hours,
 		Workers: *workers, Opts: search.Options{PreFix: *prefix},
-		ShrinkBudget: *budget,
+		ShrinkBudget: *budget, Kinds: kinds,
 	})
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -62,14 +76,14 @@ func main() {
 
 	unshrunk := 0
 	for _, r := range rep.Results {
-		if len(r.Violations) > 0 && r.Shrunk == nil {
+		if len(r.Violations) > 0 && r.Shrunk == nil && !r.SkippedAsDuplicate {
 			unshrunk++
 			fmt.Fprintf(os.Stderr, "chaosearch: trial %d (seed %d) violated %v but did not shrink: %s\n",
 				r.Trial, r.Seed, r.Violations[0].Invariant, r.Error)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "chaosearch: %d/%d trials violating, %d shrunk reproducers\n",
-		rep.Violating, rep.Trials, rep.Shrunk)
+	fmt.Fprintf(os.Stderr, "chaosearch: %d/%d trials violating (%d signature groups, %d skipped as duplicates), %d shrunk reproducers\n",
+		rep.Violating, rep.Trials, rep.DedupGroups, rep.DedupSkipped, rep.Shrunk)
 	if unshrunk > 0 {
 		os.Exit(1)
 	}

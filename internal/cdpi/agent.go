@@ -43,6 +43,28 @@ type Agent struct {
 	// executed strictly after their TTE — an invariant violation (the
 	// receive guard must have dropped them). Always 0 in a correct run.
 	LateSyncEnactments int
+	// highestEpoch is the largest fencing epoch seen on any command
+	// (the fencing reference). It only ratchets upward; an agent reboot
+	// forgets it, exactly like a real agent losing process state.
+	highestEpoch uint64
+	// maxEnactedEpoch is the largest epoch this agent has ENACTED,
+	// kept separately so epoch monotonicity of enactments is checkable.
+	maxEnactedEpoch uint64
+	// fencingDisabled turns the stale-epoch fence off (the pre-fix
+	// split-brain behaviour the chaos search demonstrates).
+	fencingDisabled bool
+	// StaleEpochRejections counts commands dropped because they carried
+	// an epoch below the highest seen — a deposed primary's dispatches
+	// bouncing off the fence.
+	StaleEpochRejections int
+	// StaleEpochAccepts counts stale-epoch commands the agent enacted
+	// anyway (only possible with fencing disabled). Always 0 in a
+	// correct run.
+	StaleEpochAccepts int
+	// EpochRegressions counts enactments whose epoch was below an
+	// already-enacted epoch — the split-brain double-enactment
+	// signature. Always 0 in a correct run.
+	EpochRegressions int
 	// StateReport, when set, is sampled at each heartbeat and carried
 	// to the frontend as the node's self-reported state (position
 	// telemetry). A byzantine node's report lies.
@@ -57,6 +79,10 @@ type AgentConfig struct {
 	// connectivity (cheap local check; 1 s in production, coarser in
 	// long simulations).
 	ConnCheckIntervalS float64
+	// DisableEpochFencing makes agents enact stale-epoch commands
+	// instead of rejecting them — the pre-fix compat knob chaos-search
+	// repros use to demonstrate split-brain double-enactment.
+	DisableEpochFencing bool
 }
 
 // DefaultAgentConfig returns production-like cadences.
@@ -68,7 +94,8 @@ func DefaultAgentConfig() AgentConfig {
 func newAgent(eng *sim.Engine, fe *Frontend, node string, enactor Enactor, cfg AgentConfig) *Agent {
 	a := &Agent{
 		Node: node, eng: eng, frontend: fe, enactor: enactor,
-		seen: make(map[uint64]bool),
+		seen:            make(map[uint64]bool),
+		fencingDisabled: cfg.DisableEpochFencing,
 	}
 	// Connectivity maintenance loop.
 	eng.Every(cfg.ConnCheckIntervalS, func() bool {
@@ -143,6 +170,17 @@ func (a *Agent) receive(cmd *Command, via Channel) {
 		// challenges.)
 		return
 	}
+	if cmd.Epoch > 0 {
+		if cmd.Epoch < a.highestEpoch && !a.fencingDisabled {
+			// Fence: the issuer has been deposed — a newer primary's
+			// epoch has already reached this agent.
+			a.StaleEpochRejections++
+			return
+		}
+		if cmd.Epoch > a.highestEpoch {
+			a.highestEpoch = cmd.Epoch
+		}
+	}
 	enactAt := now
 	if cmd.TTE > enactAt {
 		enactAt = cmd.TTE
@@ -157,6 +195,23 @@ func (a *Agent) receive(cmd *Command, via Channel) {
 			// (rather than silently enacting) turns the §4.2 sync
 			// discipline into a checkable invariant.
 			a.LateSyncEnactments++
+		}
+		if cmd.Epoch > 0 && cmd.Epoch < a.highestEpoch {
+			// A higher epoch arrived while this command was held to its
+			// TTE: the issuer was deposed mid-hold. The fence applies at
+			// enact time too, not just at receive.
+			if !a.fencingDisabled {
+				a.StaleEpochRejections++
+				return
+			}
+			a.StaleEpochAccepts++
+		}
+		if cmd.Epoch > 0 {
+			if cmd.Epoch < a.maxEnactedEpoch {
+				a.EpochRegressions++
+			} else {
+				a.maxEnactedEpoch = cmd.Epoch
+			}
 		}
 		a.Enacted++
 		a.enactor.Enact(cmd, func(ok bool) {

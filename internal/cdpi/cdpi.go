@@ -105,6 +105,13 @@ type Command struct {
 	IntentID uint64
 	// Attempt counts retries.
 	Attempt int
+	// Epoch is the issuing control process's fencing epoch. Agents
+	// remember the highest epoch they have seen and reject commands
+	// carrying a lower one — the fence that stops a deposed primary
+	// from double-enacting after a standby promotion. Zero means
+	// fencing is not in use (single-controller legacy mode); zero-epoch
+	// commands are never fenced.
+	Epoch uint64
 }
 
 // Channel identifies how a command travelled.

@@ -398,6 +398,40 @@ func (fe *Frontend) LateSyncEnactments() int {
 	return total
 }
 
+// StaleEpochRejections sums the fleet's fence hits: commands agents
+// dropped because a newer primary's epoch had already reached them. A
+// nonzero count during a controller partition is the fence WORKING —
+// the deposed primary's dispatches bouncing off.
+func (fe *Frontend) StaleEpochRejections() int {
+	total := 0
+	for _, a := range fe.agents {
+		total += a.StaleEpochRejections
+	}
+	return total
+}
+
+// StaleEpochAccepts sums stale-epoch commands agents enacted anyway
+// (only possible with fencing disabled). Always 0 in a correct run —
+// the no-stale-epoch-acceptance invariant.
+func (fe *Frontend) StaleEpochAccepts() int {
+	total := 0
+	for _, a := range fe.agents {
+		total += a.StaleEpochAccepts
+	}
+	return total
+}
+
+// EpochRegressions sums enactments whose epoch regressed below an
+// epoch the same agent had already enacted. Always 0 in a correct run
+// — the epoch-monotonicity invariant.
+func (fe *Frontend) EpochRegressions() int {
+	total := 0
+	for _, a := range fe.agents {
+		total += a.EpochRegressions
+	}
+	return total
+}
+
 // SuccessfulEnactments filters the log by kind and success.
 func (fe *Frontend) SuccessfulEnactments(k Kind) []Enactment {
 	var out []Enactment

@@ -61,6 +61,20 @@ const (
 	// Target is the node ID. The controller must reject or quarantine
 	// implausible reports instead of planning on them.
 	ByzantineTelemetry
+	// ControllerFailover kills ONLY the acting primary controller
+	// process; the warm standby replica survives and must promote
+	// itself when the leadership lease lapses. At window end the
+	// failed replica returns as the new standby (roles swap — there is
+	// no fail-back). Unlike ControllerCrash, the control plane as a
+	// whole is supposed to recover within a lease TTL, not a restart.
+	ControllerFailover
+	// ControllerPartition isolates the acting primary from the lease
+	// service and the replication stream while leaving its process
+	// RUNNING: it keeps solving and dispatching commands it no longer
+	// has the authority to issue. The standby promotes when the lease
+	// lapses; epoch fencing at the agents is what must stop the
+	// deposed ex-leader from causing split-brain double-enactment.
+	ControllerPartition
 )
 
 // String implements fmt.Stringer.
@@ -84,6 +98,10 @@ func (k Kind) String() string {
 		return "partial-partition"
 	case ByzantineTelemetry:
 		return "byzantine-telemetry"
+	case ControllerFailover:
+		return "controller-failover"
+	case ControllerPartition:
+		return "controller-partition"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -95,6 +113,7 @@ func Kinds() []Kind {
 		ControllerCrash, SatcomOutage, GatewayLoss, ManetPartition,
 		AgentReboot, TelemetryStale, SolverOutage,
 		PartialPartition, ByzantineTelemetry,
+		ControllerFailover, ControllerPartition,
 	}
 }
 
@@ -189,6 +208,14 @@ type Hooks struct {
 	// Byzantine starts (or ends) a node's byzantine-telemetry window:
 	// while active the node reports spoofed positions and margins.
 	Byzantine func(node string, active bool)
+	// ControllerFailover / ControllerRejoin bracket a primary-only
+	// death: the standby replica survives (and should promote); at
+	// window end the failed replica returns as the new warm standby.
+	ControllerFailover, ControllerRejoin func()
+	// ControllerPartition isolates (or heals) the acting primary from
+	// the lease service and replication stream while its process stays
+	// live.
+	ControllerPartition func(isolated bool)
 }
 
 // Event records one injected transition for post-hoc analysis.
@@ -273,6 +300,14 @@ func (in *Injector) start(f Fault) {
 		if in.hooks.Byzantine != nil {
 			in.hooks.Byzantine(f.Target, true)
 		}
+	case ControllerFailover:
+		if in.hooks.ControllerFailover != nil {
+			in.hooks.ControllerFailover()
+		}
+	case ControllerPartition:
+		if in.hooks.ControllerPartition != nil {
+			in.hooks.ControllerPartition(true)
+		}
 	}
 }
 
@@ -314,6 +349,14 @@ func (in *Injector) end(f Fault) {
 	case ByzantineTelemetry:
 		if in.hooks.Byzantine != nil {
 			in.hooks.Byzantine(f.Target, false)
+		}
+	case ControllerFailover:
+		if in.hooks.ControllerRejoin != nil {
+			in.hooks.ControllerRejoin()
+		}
+	case ControllerPartition:
+		if in.hooks.ControllerPartition != nil {
+			in.hooks.ControllerPartition(false)
 		}
 	}
 }

@@ -28,6 +28,13 @@ func gatewayIDs() []string { return []string{"gs-nairobi", "gs-kisumu", "gs-naku
 // drawn from the deterministic initial fleet. The rng fully
 // determines the output.
 func Generate(rng *rand.Rand, seed int64, scale int, hours float64) Script {
+	return GenerateKinds(rng, seed, scale, hours, chaos.Kinds())
+}
+
+// GenerateKinds is Generate restricted to the given fault kinds — the
+// chaosearch -kinds profile, which lets a nightly campaign hammer just
+// the controller-replication faults.
+func GenerateKinds(rng *rand.Rand, seed int64, scale int, hours float64, kinds []chaos.Kind) Script {
 	s := Script{
 		Name:  fmt.Sprintf("gen-%d-s%d", seed, scale),
 		Seed:  seed,
@@ -40,8 +47,11 @@ func Generate(rng *rand.Rand, seed int64, scale int, hours float64) Script {
 	if span < 600 {
 		span = 600
 	}
-	kinds := chaos.Kinds()
 	n := 2 + rng.Intn(3+scale)
+	// A narrow kind set caps how many faults can exist at all.
+	if max := len(kinds) * genMaxPerKind; n > max {
+		n = max
+	}
 	perKind := map[chaos.Kind]int{}
 	for len(s.Faults) < n {
 		k := kinds[rng.Intn(len(kinds))]
@@ -54,6 +64,12 @@ func Generate(rng *rand.Rand, seed int64, scale int, hours float64) Script {
 		f := ScriptFault{Kind: k.String(), At: at, Duration: dur}
 		switch k {
 		case chaos.ControllerCrash:
+			f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+		case chaos.ControllerFailover, chaos.ControllerPartition:
+			// Long enough for the 30 s lease to lapse and a standby to
+			// promote while the fault still holds (short windows heal
+			// before deposition, which is legitimate but teaches
+			// nothing).
 			f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
 		case chaos.SatcomOutage:
 			f.Target = []string{"leo", "geo", "all"}[rng.Intn(3)]

@@ -34,6 +34,28 @@ const (
 	// identical telemetry digest (journal, intents, enactments,
 	// counters, reachability).
 	InvDeterminism = "determinism"
+	// InvSingleLeader: the leadership lease history contains at most
+	// one holder per instant, with strictly monotonic fencing epochs
+	// (LeaseService.Audit() is empty).
+	InvSingleLeader = "single-leader"
+	// InvEpochMonotonic: no agent enacts a command whose fencing epoch
+	// is lower than one it already enacted
+	// (Frontend.EpochRegressions() == 0).
+	InvEpochMonotonic = "epoch-monotonic"
+	// InvNoStaleEpochAccept: no agent enacts a command carrying an
+	// epoch below the highest it has seen — the split-brain
+	// double-enactment epoch fencing exists to prevent
+	// (Frontend.StaleEpochAccepts() == 0).
+	InvNoStaleEpochAccept = "no-stale-epoch-acceptance"
+	// InvBoundedPromotion: after a primary-only death or a primary
+	// partition long enough for the lease to lapse, a standby
+	// demonstrably promotes and resumes solving within the promotion
+	// bound.
+	InvBoundedPromotion = "bounded-promotion"
+	// InvJournalConvergence: whenever the replication stream is
+	// attached and idle at end of run, the standby's journal copy is
+	// digest-identical to the acting primary's.
+	InvJournalConvergence = "journal-convergence"
 )
 
 // Invariants lists every invariant name the suite checks.
@@ -41,7 +63,8 @@ func Invariants() []string {
 	return []string{
 		InvNoDuplicateEnactment, InvNoLateSyncEnactment, InvBoundedRecovery,
 		InvNoRoutingLoop, InvControlConsistency, InvPositionSanity,
-		InvDeterminism,
+		InvDeterminism, InvSingleLeader, InvEpochMonotonic,
+		InvNoStaleEpochAccept, InvBoundedPromotion, InvJournalConvergence,
 	}
 }
 

@@ -35,6 +35,12 @@ type Options struct {
 	// 0 = default (30 s: heartbeat timeout + probe cadence + mesh
 	// convergence).
 	GhostGraceS float64
+	// PromotionBoundS is the time after the leadership lease can
+	// first lapse within which a standby must have promoted and
+	// resumed solving. 0 = default (150 s: one lease check past the
+	// TTL for the takeover, immediate reconciliation, at most one
+	// 60 s solve interval, the rest slack).
+	PromotionBoundS float64
 }
 
 func (o Options) recoveryBound() float64 {
@@ -58,6 +64,13 @@ func (o Options) ghostGrace() float64 {
 	return 30
 }
 
+func (o Options) promotionBound() float64 {
+	if o.PromotionBoundS > 0 {
+		return o.PromotionBoundS
+	}
+	return 150
+}
+
 // Result is one script execution's verdict.
 type Result struct {
 	Script     Script      `json:"script"`
@@ -69,6 +82,11 @@ type Result struct {
 	LateSyncEnactments   int `json:"lateSyncEnactments"`
 	Crashes              int `json:"crashes"`
 	GuardRejected        int `json:"guardRejected"`
+	// Replication counters.
+	Promotions           int `json:"promotions,omitempty"`
+	Standdowns           int `json:"standdowns,omitempty"`
+	StaleEpochRejections int `json:"staleEpochRejections,omitempty"`
+	StaleEpochAccepts    int `json:"staleEpochAccepts,omitempty"`
 }
 
 // Violated reports whether the named invariant was breached.
@@ -105,9 +123,15 @@ func config(s Script, opts Options) core.Config {
 	cfg.SolveIntervalS = 60
 	cfg.AgentConnCheckS = 5
 	cfg.DisablePower = true
+	// Every trial runs the replicated control plane so the failover
+	// and partition fault kinds have something to bite on. Replication
+	// is inert without controller faults (the lease renews forever and
+	// the epoch stays 1), so pre-existing repros are unaffected.
+	cfg.ReplicationEnabled = true
 	if opts.PreFix {
 		cfg.SymmetricInBand = true
 		cfg.DisableTelemetryGuard = true
+		cfg.DisableEpochFencing = true
 	}
 	return cfg
 }
@@ -161,30 +185,46 @@ func runOnce(s Script, opts Options) (Result, error) {
 	}
 
 	// --- bounded-recovery probes (per controller-crash fault) -------
+	// Controller-affecting fault windows of every kind collide with
+	// each other's recovery/promotion observations, so both probe
+	// families skip any window whose observation span overlaps another
+	// controller window.
 	bound := opts.recoveryBound()
-	var crashes []crashWindow
+	var ctlWindows []crashWindow
+	var crashes, failovers []int // indices into ctlWindows
 	for _, f := range scn.Faults {
-		if f.Kind == chaos.ControllerCrash && f.Duration > 0 {
-			crashes = append(crashes, crashWindow{f.At, f.At + f.Duration})
+		if f.Duration <= 0 {
+			continue
+		}
+		w := crashWindow{f.At, f.At + f.Duration}
+		switch f.Kind {
+		case chaos.ControllerCrash:
+			crashes = append(crashes, len(ctlWindows))
+			ctlWindows = append(ctlWindows, w)
+		case chaos.ControllerFailover, chaos.ControllerPartition:
+			failovers = append(failovers, len(ctlWindows))
+			ctlWindows = append(ctlWindows, w)
 		}
 	}
 	horizon := s.Hours * 3600
-	for i, cw := range crashes {
-		// Skip windows whose recovery span collides with another crash:
-		// "recovered" is unobservable while a second fault holds the
-		// controller down.
-		restart, deadline := cw.end, cw.end+bound
-		if deadline >= horizon {
-			continue
-		}
-		clear := true
-		for j, other := range crashes {
-			if j != i && other.start < deadline && other.end > restart {
-				clear = false
-				break
+	overlapsOther := func(self int, from, to float64) bool {
+		for i, other := range ctlWindows {
+			if i == self {
+				continue
+			}
+			if other.start < to && other.end > from {
+				return true
 			}
 		}
-		if !clear {
+		return false
+	}
+	for _, ci := range crashes {
+		cw := ctlWindows[ci]
+		// Skip windows whose recovery span collides with another
+		// controller fault: "recovered" is unobservable while a second
+		// fault holds the controller down.
+		restart, deadline := cw.end, cw.end+bound
+		if deadline >= horizon || overlapsOther(ci, restart, deadline) {
 			continue
 		}
 		var solvesAtRestart int
@@ -199,6 +239,48 @@ func runOnce(s Script, opts Options) (Result, error) {
 			if c.SolveRuns <= solvesAtRestart {
 				record(InvBoundedRecovery,
 					fmt.Sprintf("no solve cycle completed within %.0fs of restart at t=%.0fs", bound, restart))
+			}
+		})
+	}
+
+	// --- bounded-promotion probes (failover / partition faults) -----
+	// The lease (30 s TTL, 5 s checks in the search profile) can first
+	// lapse TTL after the fault starts; the standby must have promoted
+	// and demonstrably resumed solving within the promotion bound
+	// after that. Windows too short for the lease to lapse are skipped
+	// (healing before deposition is legitimate), as are windows whose
+	// observation span collides with another controller fault.
+	pBound := opts.promotionBound()
+	const leaseLapseS = 35 // search-profile TTL + one check cadence
+	for _, fi := range failovers {
+		fw := ctlWindows[fi]
+		deadline := fw.start + leaseLapseS + pBound
+		if fw.end-fw.start <= leaseLapseS {
+			continue
+		}
+		if deadline >= horizon || overlapsOther(fi, fw.start, deadline) {
+			continue
+		}
+		var promosBefore, solvesBefore int
+		c.Eng.At(fw.start+1, func() {
+			promosBefore = c.Promotions
+			solvesBefore = c.SolveRuns
+		})
+		c.Eng.At(deadline, func() {
+			if c.Promotions <= promosBefore {
+				record(InvBoundedPromotion,
+					fmt.Sprintf("no standby promotion within %.0fs of the fault at t=%.0fs (lease lapse + bound)",
+						leaseLapseS+pBound, fw.start))
+				return
+			}
+			if c.Down() {
+				record(InvBoundedPromotion,
+					fmt.Sprintf("promoted controller still down %.0fs after the fault at t=%.0fs", leaseLapseS+pBound, fw.start))
+				return
+			}
+			if c.SolveRuns <= solvesBefore {
+				record(InvBoundedPromotion,
+					fmt.Sprintf("no solve cycle completed within %.0fs of the fault at t=%.0fs", leaseLapseS+pBound, fw.start))
 			}
 		})
 	}
@@ -274,6 +356,28 @@ func runOnce(s Script, opts Options) (Result, error) {
 				fmt.Sprintf("data-plane entries for %s loop %v", r.ID, cycle))
 		}
 	}
+	if c.Lease != nil {
+		for _, v := range c.Lease.Audit() {
+			record(InvSingleLeader, v)
+		}
+		if n := c.Frontend.EpochRegressions(); n > 0 {
+			record(InvEpochMonotonic,
+				fmt.Sprintf("%d enactments regressed below an already-enacted fencing epoch", n))
+		}
+		if n := c.Frontend.StaleEpochAccepts(); n > 0 {
+			record(InvNoStaleEpochAccept,
+				fmt.Sprintf("%d commands enacted despite carrying a stale fencing epoch (split-brain double-enactment)", n))
+		}
+		// Journal convergence is only decidable when the stream is
+		// attached and idle: a run ending mid-partition or mid-flight
+		// legitimately leaves the standby behind.
+		if !c.Down() && c.Repl.Connected() && c.Repl.InFlight() == 0 {
+			if a, b := c.Journal.Digest(), c.Repl.StandbyJournal().Digest(); a != b {
+				record(InvJournalConvergence,
+					fmt.Sprintf("standby journal digest %x != acting journal digest %x with the stream attached and idle", b, a))
+			}
+		}
+	}
 
 	return Result{
 		Script:               s,
@@ -283,6 +387,10 @@ func runOnce(s Script, opts Options) (Result, error) {
 		LateSyncEnactments:   c.Frontend.LateSyncEnactments(),
 		Crashes:              c.Crashes,
 		GuardRejected:        c.PosGuard.Rejected,
+		Promotions:           c.Promotions,
+		Standdowns:           c.Standdowns,
+		StaleEpochRejections: c.Frontend.StaleEpochRejections(),
+		StaleEpochAccepts:    c.Frontend.StaleEpochAccepts(),
 	}, nil
 }
 

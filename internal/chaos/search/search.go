@@ -2,7 +2,10 @@ package search
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
+
+	"minkowski/internal/chaos"
 )
 
 // SearchConfig parameterizes a search campaign.
@@ -25,6 +28,8 @@ type SearchConfig struct {
 	// ShrinkBudget caps candidate runs per shrink (default
 	// DefaultShrinkBudget).
 	ShrinkBudget int
+	// Kinds restricts the grammar to these fault kinds (empty = all).
+	Kinds []chaos.Kind
 }
 
 // TrialResult is one trial's outcome.
@@ -36,8 +41,18 @@ type TrialResult struct {
 	Script Script `json:"script"`
 	// Violations found on the generated script.
 	Violations []Violation `json:"violations,omitempty"`
+	// Signature groups violating trials for corpus triage: the
+	// violated invariant plus the first fault kind plausibly involved.
+	// Only one representative per signature is shrunk.
+	Signature string `json:"signature,omitempty"`
+	// SkippedAsDuplicate marks a violating trial whose signature was
+	// already claimed by an earlier trial; DuplicateOf names that
+	// trial. Duplicates spend no shrink budget.
+	SkippedAsDuplicate bool `json:"skippedAsDuplicate,omitempty"`
+	DuplicateOf        int  `json:"duplicateOf,omitempty"`
 	// Shrunk is the minimized reproducer for the first violated
-	// invariant, when any violation was found and shrinking succeeded.
+	// invariant, when this trial represents its signature and
+	// shrinking succeeded.
 	Shrunk *Script `json:"shrunk,omitempty"`
 	// ShrinkRuns counts simulations the shrink spent.
 	ShrinkRuns int `json:"shrinkRuns,omitempty"`
@@ -45,15 +60,21 @@ type TrialResult struct {
 
 // Report is the whole campaign's outcome (the chaosearch JSON).
 type Report struct {
-	Seed       int64         `json:"seed"`
-	Trials     int           `json:"trials"`
-	Scale      int           `json:"scale"`
-	Hours      float64       `json:"hours"`
-	PreFix     bool          `json:"preFix"`
-	Results    []TrialResult `json:"results"`
-	Violating  int           `json:"violating"`
-	Shrunk     int           `json:"shrunk"`
-	Invariants []string      `json:"invariants"`
+	Seed      int64         `json:"seed"`
+	Trials    int           `json:"trials"`
+	Scale     int           `json:"scale"`
+	Hours     float64       `json:"hours"`
+	PreFix    bool          `json:"preFix"`
+	Kinds     []string      `json:"kinds,omitempty"`
+	Results   []TrialResult `json:"results"`
+	Violating int           `json:"violating"`
+	Shrunk    int           `json:"shrunk"`
+	// DedupGroups counts distinct violation signatures; DedupSkipped
+	// counts violating trials skipped as duplicates of an earlier
+	// trial's signature (shrink budget saved).
+	DedupGroups  int      `json:"dedupGroups"`
+	DedupSkipped int      `json:"dedupSkipped"`
+	Invariants   []string `json:"invariants"`
 }
 
 // mixSeed derives trial i's seed from the master seed (splitmix64
@@ -66,10 +87,33 @@ func mixSeed(master int64, trial int) int64 {
 	return int64(z & 0x7fffffffffffffff)
 }
 
-// Search runs the campaign: Trials generated scripts, each executed
-// with the invariant suite (determinism check included), violations
-// shrunk to minimal reproducers. Deterministic in (Seed, Trials,
-// Scale, Hours, Opts) regardless of Workers.
+// violationSignature triages a violation for corpus dedup: the
+// invariant name joined with the kind of the first fault already
+// injected when the violation fired — the earliest event that can
+// have contributed. Two trials tripping the same invariant off the
+// same trigger kind are near-certain duplicates of one root cause;
+// shrinking both wastes the budget.
+func violationSignature(s Script, v Violation) string {
+	kind := ""
+	bestAt := 0.0
+	for _, f := range s.Faults {
+		if f.At <= v.At && (kind == "" || f.At < bestAt) {
+			kind = f.Kind
+			bestAt = f.At
+		}
+	}
+	if kind == "" && len(s.Faults) > 0 {
+		kind = s.Faults[0].Kind
+	}
+	return strings.Join([]string{v.Invariant, kind}, "|")
+}
+
+// Search runs the campaign in three phases: every generated script is
+// executed with the invariant suite (determinism check included);
+// violating trials are triaged by signature so each distinct
+// (invariant, trigger-kind) pair gets exactly one representative; and
+// only the representatives are delta-debug shrunk. Deterministic in
+// (Seed, Trials, Scale, Hours, Opts, Kinds) regardless of Workers.
 func Search(cfg SearchConfig) Report {
 	if cfg.Hours <= 0 {
 		cfg.Hours = 3
@@ -79,28 +123,51 @@ func Search(cfg SearchConfig) Report {
 	}
 	results := make([]TrialResult, cfg.Trials)
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := 0; i < cfg.Trials; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = runTrial(cfg, i)
-		}()
+	// Phase 1: run every generated script.
+	parallel(cfg.Workers, cfg.Trials, func(i int) {
+		results[i] = runTrial(cfg, i)
+	})
+
+	// Phase 2: triage — group violating trials by signature, lowest
+	// trial index representing each group (sequential, trivially
+	// cheap, order-deterministic).
+	repFor := map[string]int{}
+	var reps []int
+	for i := range results {
+		r := &results[i]
+		if r.Error != "" || len(r.Violations) == 0 {
+			continue
+		}
+		r.Signature = violationSignature(r.Script, r.Violations[0])
+		if first, seen := repFor[r.Signature]; seen {
+			r.SkippedAsDuplicate = true
+			r.DuplicateOf = first
+			continue
+		}
+		repFor[r.Signature] = i
+		reps = append(reps, i)
 	}
-	wg.Wait()
+
+	// Phase 3: shrink one representative per signature.
+	parallel(cfg.Workers, len(reps), func(k int) {
+		shrinkTrial(cfg, &results[reps[k]])
+	})
 
 	rep := Report{
 		Seed: cfg.Seed, Trials: cfg.Trials, Scale: cfg.Scale,
 		Hours: cfg.Hours, PreFix: cfg.Opts.PreFix,
 		Results: results, Invariants: Invariants(),
+		DedupGroups: len(reps),
+	}
+	for _, k := range cfg.Kinds {
+		rep.Kinds = append(rep.Kinds, k.String())
 	}
 	for _, r := range results {
 		if len(r.Violations) > 0 {
 			rep.Violating++
+		}
+		if r.SkippedAsDuplicate {
+			rep.DedupSkipped++
 		}
 		if r.Shrunk != nil {
 			rep.Shrunk++
@@ -109,11 +176,33 @@ func Search(cfg SearchConfig) Report {
 	return rep
 }
 
-// runTrial generates, runs, and (on violation) shrinks one trial.
+// parallel runs fn(0..n-1) across at most workers goroutines.
+func parallel(workers, n int, fn func(int)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// runTrial generates and runs one trial (no shrinking — that happens
+// after triage, for signature representatives only).
 func runTrial(cfg SearchConfig, trial int) TrialResult {
 	seed := mixSeed(cfg.Seed, trial)
 	rng := rand.New(rand.NewSource(seed))
-	script := Generate(rng, seed, cfg.Scale, cfg.Hours)
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = chaos.Kinds()
+	}
+	script := GenerateKinds(rng, seed, cfg.Scale, cfg.Hours, kinds)
 	tr := TrialResult{Trial: trial, Seed: seed, Script: script}
 
 	opts := cfg.Opts
@@ -124,16 +213,17 @@ func runTrial(cfg SearchConfig, trial int) TrialResult {
 		return tr
 	}
 	tr.Violations = res.Violations
-	if len(res.Violations) == 0 {
-		return tr
-	}
-	inv := res.Violations[0].Invariant
-	shrunk, runs, err := Shrink(script, inv, cfg.Opts, cfg.ShrinkBudget)
+	return tr
+}
+
+// shrinkTrial minimizes a representative trial's script in place.
+func shrinkTrial(cfg SearchConfig, tr *TrialResult) {
+	inv := tr.Violations[0].Invariant
+	shrunk, runs, err := Shrink(tr.Script, inv, cfg.Opts, cfg.ShrinkBudget)
 	tr.ShrinkRuns = runs
 	if err != nil {
 		tr.Error = err.Error()
-		return tr
+		return
 	}
 	tr.Shrunk = &shrunk
-	return tr
 }

@@ -1,0 +1,123 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"minkowski/internal/chaos"
+)
+
+func TestViolationSignature(t *testing.T) {
+	s := Script{Faults: []ScriptFault{
+		{Kind: "gateway-loss", At: 2000},
+		{Kind: "byzantine-telemetry", At: 1000},
+		{Kind: "solver-outage", At: 5000},
+	}}
+	// Earliest fault already injected at the violation time wins.
+	got := violationSignature(s, Violation{Invariant: InvPositionSanity, At: 2500})
+	if want := InvPositionSanity + "|byzantine-telemetry"; got != want {
+		t.Errorf("signature = %q, want %q", got, want)
+	}
+	// A violation before any fault falls back to the first listed fault.
+	got = violationSignature(s, Violation{Invariant: InvDeterminism, At: 500})
+	if want := InvDeterminism + "|gateway-loss"; got != want {
+		t.Errorf("pre-fault signature = %q, want %q", got, want)
+	}
+}
+
+// TestGenerateKindsRestriction checks the -kinds grammar profile: only
+// requested kinds appear, and the fault count respects the per-kind cap
+// when the kind set is narrow.
+func TestGenerateKindsRestriction(t *testing.T) {
+	kinds := []chaos.Kind{chaos.ControllerFailover, chaos.ControllerPartition}
+	allowed := map[string]bool{}
+	for _, k := range kinds {
+		allowed[k.String()] = true
+	}
+	sawFailover, sawPartition := false, false
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := GenerateKinds(rng, seed, 2, 3, kinds)
+		if len(s.Faults) > len(kinds)*genMaxPerKind {
+			t.Fatalf("seed %d: %d faults exceeds the %d-kind cap", seed, len(s.Faults), len(kinds))
+		}
+		for _, f := range s.Faults {
+			if !allowed[f.Kind] {
+				t.Fatalf("seed %d: generated kind %q outside the restriction", seed, f.Kind)
+			}
+			switch f.Kind {
+			case "controller-failover":
+				sawFailover = true
+			case "controller-partition":
+				sawPartition = true
+			}
+			if f.Duration < genMinDurS {
+				t.Fatalf("seed %d: controller fault window %v shorter than a solve cycle", seed, f.Duration)
+			}
+		}
+	}
+	if !sawFailover || !sawPartition {
+		t.Errorf("restricted grammar never produced both kinds over 100 seeds (failover=%v partition=%v)",
+			sawFailover, sawPartition)
+	}
+}
+
+// TestSearchDedupTriage runs a small pre-fix campaign engineered so
+// that several trials trip the same invariant off the same trigger
+// kind: with the grammar pinned to byzantine-telemetry and the guard
+// disabled, every violating trial signatures identically. The triage
+// must shrink exactly one representative and skip the rest, and the
+// report must account for the savings.
+func TestSearchDedupTriage(t *testing.T) {
+	rep := Search(SearchConfig{
+		Seed: 5, Trials: 4, Scale: 1, Hours: 1, Workers: 4,
+		Opts:  Options{PreFix: true},
+		Kinds: []chaos.Kind{chaos.ByzantineTelemetry},
+	})
+	if rep.Violating < 2 {
+		t.Skipf("only %d violating trials — campaign too quiet to exercise dedup", rep.Violating)
+	}
+	if rep.DedupGroups < 1 {
+		t.Fatalf("DedupGroups = %d, want >= 1", rep.DedupGroups)
+	}
+	if rep.DedupSkipped != rep.Violating-rep.DedupGroups {
+		t.Errorf("DedupSkipped = %d, want violating-groups = %d",
+			rep.DedupSkipped, rep.Violating-rep.DedupGroups)
+	}
+	repShrunk := 0
+	for _, r := range rep.Results {
+		if len(r.Violations) == 0 {
+			if r.Signature != "" || r.SkippedAsDuplicate {
+				t.Errorf("trial %d: clean trial carries triage fields", r.Trial)
+			}
+			continue
+		}
+		if r.Signature == "" {
+			t.Errorf("trial %d: violating trial has no signature", r.Trial)
+		}
+		if r.SkippedAsDuplicate {
+			if r.Shrunk != nil || r.ShrinkRuns != 0 {
+				t.Errorf("trial %d: duplicate spent shrink budget", r.Trial)
+			}
+			orig := rep.Results[r.DuplicateOf]
+			if orig.Signature != r.Signature {
+				t.Errorf("trial %d: DuplicateOf %d has signature %q, want %q",
+					r.Trial, r.DuplicateOf, orig.Signature, r.Signature)
+			}
+			if r.DuplicateOf >= r.Trial {
+				t.Errorf("trial %d: representative %d is not an earlier trial", r.Trial, r.DuplicateOf)
+			}
+		} else if r.Shrunk != nil {
+			repShrunk++
+		}
+	}
+	if repShrunk != rep.Shrunk {
+		t.Errorf("Shrunk = %d, but %d representatives actually shrunk", rep.Shrunk, repShrunk)
+	}
+	if rep.Shrunk < 1 {
+		t.Errorf("Shrunk = %d, want >= 1 — no representative minimized", rep.Shrunk)
+	}
+	if len(rep.Kinds) != 1 || rep.Kinds[0] != "byzantine-telemetry" {
+		t.Errorf("report Kinds = %v, want [byzantine-telemetry]", rep.Kinds)
+	}
+}

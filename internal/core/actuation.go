@@ -56,26 +56,33 @@ func (a *armState) complete(ok bool) {
 	a.done = map[string]func(bool){}
 }
 
-// actuate dispatches the reconciler's actions over the CDPI.
+// actuate dispatches the reconciler's actions over the CDPI on behalf
+// of the acting process.
 func (c *Controller) actuate(acts intent.Actions) {
-	now := c.Eng.Now()
+	c.actuateFor(&c.ctlState, acts)
+}
+
+// actuateFor dispatches actions for one control process — the acting
+// primary, or the deposed rogue during a controller partition. Every
+// command is stamped with the issuing process's fencing epoch, which
+// is what lets agents reject a deposed dispatcher.
+func (c *Controller) actuateFor(p *ctlState, acts intent.Actions) {
 	for _, li := range acts.EstablishLinks {
-		c.commandEstablish(li, 1)
+		c.commandEstablish(p, li, 1)
 	}
 	for _, li := range acts.WithdrawLinks {
-		c.commandWithdraw(li)
+		c.commandWithdraw(p, li)
 	}
 	for _, ri := range acts.RemoveRoutes {
-		c.commandRouteRemoval(ri)
+		c.commandRouteRemoval(p, ri)
 	}
 	for _, ri := range acts.ProgramRoutes {
-		c.commandRouteProgram(ri)
+		c.commandRouteProgram(p, ri)
 	}
-	_ = now
 }
 
 // commandEstablish sends the paired link-establish commands.
-func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
+func (c *Controller) commandEstablish(p *ctlState, li *intent.LinkIntent, attempt int) {
 	now := c.Eng.Now()
 	// Restart-safety metric: commanding a first establish for a link
 	// that is up AND still journaled means the controller forgot work
@@ -83,7 +90,7 @@ func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
 	// restart reconciliation must prevent. (An up link with no journal
 	// record is the benign baseline case — an earlier intent's attempt
 	// outlived its bookkeeping — which enactEstablish adopts.)
-	if attempt == 1 && c.Journal.HasLink(li.Link) {
+	if attempt == 1 && p.Journal.HasLink(li.Link) {
 		if l, up := c.Fabric.Get(li.Link); up && l.Up() {
 			c.DuplicateEstablishes++
 		}
@@ -97,19 +104,20 @@ func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
 		done:    map[string]func(bool){},
 		attempt: attempt,
 	}
-	c.arms[li.Link] = arm
+	p.arms[li.Link] = arm
 	if attempt == 1 {
-		c.Intents.MarkCommanded(li.Link, now)
+		p.Intents.MarkCommanded(li.Link, now)
 	} else {
-		c.Intents.MarkRetry(li.Link, now)
+		p.Intents.MarkRetry(li.Link, now)
 	}
-	c.Journal.RecordLink(li)
+	p.Journal.RecordLink(li)
 	c.Log.Appendf(now, explain.EvCommand, li.Link.String(),
 		"link-establish attempt %d tte=%.0f", attempt, tte)
 	for _, node := range nodes {
 		cmd := &cdpi.Command{
 			Node: node, Kind: cdpi.KindLinkEstablish,
 			TTE: tte, Payload: &linkPayload{intent: li}, IntentID: iid,
+			Epoch: p.epoch,
 		}
 		c.Frontend.Send(cmd, nil)
 	}
@@ -117,25 +125,28 @@ func (c *Controller) commandEstablish(li *intent.LinkIntent, attempt int) {
 	// well after the TTE plus the slowest acquisition, count the
 	// attempt as failed and retry or abandon.
 	wait := (tte - now) + 300
-	arm.timeout = c.Eng.After(wait, func() { c.armTimeout(li.Link) })
+	arm.timeout = c.Eng.After(wait, func() { c.armTimeout(li) })
 }
 
-// armTimeout fires when an establishment attempt went nowhere.
-func (c *Controller) armTimeout(id radio.LinkID) {
-	arm, ok := c.arms[id]
-	if !ok {
+// armTimeout fires when an establishment attempt went nowhere. The
+// owning process is re-resolved by intent pointer at fire time: a
+// promotion swaps the acting state wholesale, so a closure must never
+// capture a process reference at dispatch time.
+func (c *Controller) armTimeout(li *intent.LinkIntent) {
+	p, arm := c.armOwner(li)
+	if arm == nil {
 		return
 	}
-	if l, live := c.Fabric.Get(id); live {
+	if l, live := c.Fabric.Get(li.Link); live {
 		if l.Up() {
 			return // established; OnUp already handled it
 		}
 		// Still slewing/acquiring: give the radios more time rather
 		// than declaring failure under them.
-		arm.timeout = c.Eng.After(120, func() { c.armTimeout(id) })
+		arm.timeout = c.Eng.After(120, func() { c.armTimeout(li) })
 		return
 	}
-	c.finishAttempt(id, false)
+	c.finishAttempt(p, li.Link, false)
 }
 
 // enact is every node agent's Enactor: it executes CDPI commands
@@ -168,10 +179,10 @@ func (c *Controller) enact(node string, cmd *cdpi.Command, done func(bool)) {
 // enactEstablish arms one endpoint; when both endpoints are armed the
 // radios begin the slew/search sequence.
 func (c *Controller) enactEstablish(node string, li *intent.LinkIntent, done func(bool)) {
-	arm, ok := c.arms[li.Link]
-	if !ok {
-		// The intent was superseded (withdrawn/failed) before this
-		// command arrived.
+	p, arm := c.armOwner(li)
+	if arm == nil {
+		// The intent was superseded (withdrawn/failed) — or its
+		// issuing process died — before this command arrived.
 		done(false)
 		return
 	}
@@ -186,24 +197,24 @@ func (c *Controller) enactEstablish(node string, li *intent.LinkIntent, done fun
 	// fighting the busy transceivers.
 	if l, ok := c.Fabric.Get(li.Link); ok {
 		now := c.Eng.Now()
-		c.Intents.MarkInstalling(li.Link, now)
+		p.Intents.MarkInstalling(li.Link, now)
 		if l.Up() {
-			c.Intents.MarkEstablished(li.Link, now)
-			c.finishAttempt(li.Link, true)
+			p.Intents.MarkEstablished(li.Link, now)
+			c.finishAttempt(p, li.Link, true)
 		}
 		return // still installing: OnUp/OnDown will resolve it
 	}
 	xa, xb := c.findXcvr(li.XA), c.findXcvr(li.XB)
 	if xa == nil || xb == nil {
-		c.finishAttempt(li.Link, false)
+		c.finishAttempt(p, li.Link, false)
 		return
 	}
 	l := c.Fabric.Establish(xa, xb, li.Channel, arm.attempt)
 	if l == nil {
-		c.finishAttempt(li.Link, false)
+		c.finishAttempt(p, li.Link, false)
 		return
 	}
-	c.Intents.MarkInstalling(li.Link, c.Eng.Now())
+	p.Intents.MarkInstalling(li.Link, c.Eng.Now())
 }
 
 // enactWithdraw drops the link from one endpoint (first enactment
@@ -216,15 +227,15 @@ func (c *Controller) enactWithdraw(node string, li *intent.LinkIntent, done func
 // commandWithdraw sends the teardown commands — the *predictive*
 // path: a planned withdrawal the network can route around before the
 // physics force the issue.
-func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
+func (c *Controller) commandWithdraw(p *ctlState, li *intent.LinkIntent) {
 	now := c.Eng.Now()
 	c.Log.Append(now, explain.EvCommand, li.Link.String(), "link-withdraw")
 	// Cancel any in-flight establishment.
-	if arm, ok := c.arms[li.Link]; ok {
+	if arm, ok := p.arms[li.Link]; ok {
 		if arm.timeout != nil {
 			arm.timeout.Cancel()
 		}
-		delete(c.arms, li.Link)
+		delete(p.arms, li.Link)
 	}
 	iid := c.Frontend.NewIntentID()
 	tte := c.Frontend.PickTTE([]string{li.NodeA, li.NodeB})
@@ -232,6 +243,7 @@ func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
 		cmd := &cdpi.Command{
 			Node: node, Kind: cdpi.KindLinkWithdraw,
 			TTE: tte, Payload: &linkPayload{intent: li}, IntentID: iid,
+			Epoch: p.epoch,
 		}
 		c.Frontend.Send(cmd, nil)
 	}
@@ -239,8 +251,8 @@ func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
 	// fail on its own; mark the intent withdrawn when the fabric
 	// reports it (onLinkDown) or directly if no physical link exists.
 	if _, live := c.Fabric.Get(li.Link); !live {
-		c.Intents.MarkWithdrawn(li.Link, now)
-		c.Journal.DropLink(li.Link)
+		p.Intents.MarkWithdrawn(li.Link, now)
+		p.Journal.DropLink(li.Link)
 	}
 }
 
@@ -249,9 +261,9 @@ func (c *Controller) commandWithdraw(li *intent.LinkIntent) {
 // node's enactment is staggered across RouteStaggerS, reproducing the
 // temporary blackholes the paper's actuation layer suffered when a
 // topology change and its route updates raced.
-func (c *Controller) commandRouteProgram(ri *intent.RouteIntent) {
+func (c *Controller) commandRouteProgram(p *ctlState, ri *intent.RouteIntent) {
 	c.Data.DeclareRoute(&dataplane.Route{ID: ri.ID, Path: ri.Path, Generation: ri.Generation})
-	c.Journal.RecordRoute(ri)
+	p.Journal.RecordRoute(ri)
 	c.Log.Appendf(c.Eng.Now(), explain.EvRouteIntent, ri.ID, "program gen %d path %v", ri.Generation, ri.Path)
 	for i := 0; i < len(ri.Path)-1; i++ {
 		node, next := ri.Path[i], ri.Path[i+1]
@@ -263,20 +275,22 @@ func (c *Controller) commandRouteProgram(ri *intent.RouteIntent) {
 			Node: node, Kind: cdpi.KindRouteUpdate,
 			TTE:     tte,
 			Payload: &routePayload{routeID: ri.ID, nextHop: next, gen: ri.Generation, path: ri.Path},
+			Epoch:   p.epoch,
 		}
 		c.Frontend.Send(cmd, nil)
 	}
 }
 
 // commandRouteRemoval withdraws a route's entries.
-func (c *Controller) commandRouteRemoval(ri *intent.RouteIntent) {
-	c.Journal.DropRoute(ri.ID)
+func (c *Controller) commandRouteRemoval(p *ctlState, ri *intent.RouteIntent) {
+	p.Journal.DropRoute(ri.ID)
 	c.Log.Appendf(c.Eng.Now(), explain.EvRouteIntent, ri.ID, "remove gen %d", ri.Generation)
 	for i := 0; i < len(ri.Path)-1; i++ {
 		node := ri.Path[i]
 		cmd := &cdpi.Command{
 			Node: node, Kind: cdpi.KindRouteUpdate,
 			Payload: &routePayload{routeID: ri.ID, nextHop: "", gen: ri.Generation},
+			Epoch:   p.epoch,
 		}
 		c.Frontend.Send(cmd, nil)
 	}
@@ -309,23 +323,28 @@ func (c *Controller) realignRoutes() {
 				Node: node, Kind: cdpi.KindRouteUpdate,
 				TTE:     c.Frontend.PickTTE([]string{node}),
 				Payload: &routePayload{routeID: ri.ID, nextHop: next, gen: ri.Generation, path: ri.Path},
+				Epoch:   c.epoch,
 			}
 			c.Frontend.Send(cmd, nil)
 		}
 	}
 }
 
-// checkRouteProgrammed promotes a route intent once all entries land.
+// checkRouteProgrammed promotes a route intent once all entries land
+// (in every live process that tracks the route).
 func (c *Controller) checkRouteProgrammed(routeID string) {
-	if c.Data.FullyProgrammed(routeID) {
-		c.Intents.MarkRouteProgrammed(routeID, c.Eng.Now())
+	if !c.Data.FullyProgrammed(routeID) {
+		return
+	}
+	for _, p := range c.procs() {
+		p.Intents.MarkRouteProgrammed(routeID, c.Eng.Now())
 	}
 }
 
-// finishAttempt resolves one establishment attempt: answer the armed
-// agents, then retry or abandon.
-func (c *Controller) finishAttempt(id radio.LinkID, ok bool) {
-	arm, live := c.arms[id]
+// finishAttempt resolves one establishment attempt for the owning
+// process p: answer the armed agents, then retry or abandon.
+func (c *Controller) finishAttempt(p *ctlState, id radio.LinkID, ok bool) {
+	arm, live := p.arms[id]
 	if !live {
 		return
 	}
@@ -333,18 +352,18 @@ func (c *Controller) finishAttempt(id radio.LinkID, ok bool) {
 	if arm.timeout != nil {
 		arm.timeout.Cancel()
 	}
-	delete(c.arms, id)
+	delete(p.arms, id)
 	if ok {
 		return
 	}
 	c.noteEstablishFailure(id)
-	li, active := c.Intents.ActiveLink(id)
+	li, active := p.Intents.ActiveLink(id)
 	if !active {
 		return
 	}
 	if arm.attempt >= c.Cfg.MaxEstablishAttempts {
-		c.Intents.MarkFailed(id, "acquire-failed", c.Eng.Now())
-		c.Journal.DropLink(id)
+		p.Intents.MarkFailed(id, "acquire-failed", c.Eng.Now())
+		p.Journal.DropLink(id)
 		c.Log.Append(c.Eng.Now(), explain.EvLinkState, id.String(),
 			fmt.Sprintf("abandoned after %d attempts", arm.attempt))
 		return
@@ -357,43 +376,47 @@ func (c *Controller) finishAttempt(id radio.LinkID, ok bool) {
 	next := arm.attempt + 1
 	delay := c.Cfg.EstablishRetry.Delay(arm.attempt, c.Eng.RNG("establish-retry"))
 	if delay <= 0 {
-		c.commandEstablish(li, next)
+		c.commandEstablish(p, li, next)
 		return
 	}
 	c.Eng.After(delay, func() {
 		// The world moved while backing off: the intent may have been
-		// withdrawn, superseded, or the controller may have crashed.
-		if c.down {
+		// withdrawn or superseded, and the issuing process may have
+		// crashed, been deposed, or stood down — re-resolve the owner
+		// at fire time rather than trusting a stale capture.
+		q := c.procForIntent(id, li)
+		if q == nil {
 			return
 		}
-		cur, stillActive := c.Intents.ActiveLink(id)
-		if !stillActive || cur != li {
+		if _, racing := q.arms[id]; racing {
 			return
 		}
-		if _, racing := c.arms[id]; racing {
-			return
-		}
-		c.commandEstablish(li, next)
+		c.commandEstablish(q, li, next)
 	})
 }
 
-// onLinkUp handles the fabric's link-up callback.
+// onLinkUp handles the fabric's link-up callback. It fans out to
+// every live control process (the acting one, plus the rogue during a
+// partition): each keeps its own intent/journal view of the same
+// physical event.
 func (c *Controller) onLinkUp(l *radio.Link) {
 	now := c.Eng.Now()
 	c.Router.TopologyChanged()
-	c.Intents.MarkEstablished(l.ID, now)
-	if li, ok := c.Intents.ActiveLink(l.ID); ok {
-		c.Journal.RecordLink(li)
+	for _, p := range c.procs() {
+		p.Intents.MarkEstablished(l.ID, now)
+		if li, ok := p.Intents.ActiveLink(l.ID); ok {
+			p.Journal.RecordLink(li)
+		}
+		// Complete the arm state successfully.
+		if arm, ok := p.arms[l.ID]; ok {
+			arm.complete(true)
+			if arm.timeout != nil {
+				arm.timeout.Cancel()
+			}
+			delete(p.arms, l.ID)
+		}
 	}
 	c.Log.Append(now, explain.EvLinkState, l.ID.String(), "established")
-	// Complete the arm state successfully.
-	if arm, ok := c.arms[l.ID]; ok {
-		arm.complete(true)
-		if arm.timeout != nil {
-			arm.timeout.Cancel()
-		}
-		delete(c.arms, l.ID)
-	}
 	// Fig. 10: compare the radios' measurement with the model's
 	// expectation for B2B links. A byzantine endpoint inflates its
 	// reported margin; the calibration sample's plausibility bound is
@@ -423,17 +446,19 @@ func (c *Controller) onLinkDown(l *radio.Link, r radio.Reason) {
 		c.RecoveryCtrl.LinkEvent(now, r == radio.ReasonWithdrawn)
 	}
 	c.Log.Append(now, explain.EvLinkState, l.ID.String(), "down: "+r.String())
-	switch {
-	case r == radio.ReasonWithdrawn:
-		c.Intents.MarkWithdrawn(l.ID, now)
-		c.Journal.DropLink(l.ID)
-	case !wasUp:
-		// A failed establishment attempt: retry logic.
-		c.finishAttempt(l.ID, false)
-	default:
-		// An installed link died unexpectedly.
-		c.Intents.MarkFailed(l.ID, r.String(), now)
-		c.Journal.DropLink(l.ID)
+	for _, p := range c.procs() {
+		switch {
+		case r == radio.ReasonWithdrawn:
+			p.Intents.MarkWithdrawn(l.ID, now)
+			p.Journal.DropLink(l.ID)
+		case !wasUp:
+			// A failed establishment attempt: retry logic.
+			c.finishAttempt(p, l.ID, false)
+		default:
+			// An installed link died unexpectedly.
+			p.Intents.MarkFailed(l.ID, r.String(), now)
+			p.Journal.DropLink(l.ID)
+		}
 	}
 }
 

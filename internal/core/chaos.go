@@ -19,8 +19,17 @@ import (
 // exposes the injection log for assertions.
 func (c *Controller) InstallChaos(s chaos.Scenario) *chaos.Injector {
 	inj := chaos.NewInjector(c.Eng, chaos.Hooks{
-		ControllerCrash:   c.Crash,
-		ControllerRestart: c.Restart,
+		ControllerCrash:    c.Crash,
+		ControllerRestart:  c.Restart,
+		ControllerFailover: c.FailPrimary,
+		ControllerRejoin:   c.RejoinStandby,
+		ControllerPartition: func(isolated bool) {
+			if isolated {
+				c.PartitionPrimary()
+			} else {
+				c.HealPrimary()
+			}
+		},
 		SatcomOutage: func(provider string, down bool) {
 			c.Sat.SetProviderDown(provider, down)
 			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "satcom-"+provider,
@@ -71,36 +80,56 @@ func (c *Controller) Crash() {
 	now := c.Eng.Now()
 	c.down = true
 	c.Crashes++
-	for _, arm := range c.arms {
-		if arm.timeout != nil {
-			arm.timeout.Cancel()
-		}
-	}
-	c.arms = map[radio.LinkID]*armState{}
+	c.dropActingMemory()
 	c.Frontend.Crash()
-	c.Intents = intent.NewStore()
-	c.lastPlan = nil
+	if c.Repl != nil {
+		// A full controller-crash is a total control-plane outage
+		// under replication too: the standby replica (and any rogue)
+		// dies with the primary, and the standby's journal copy dies
+		// as process memory. Restart brings the pair back.
+		c.standbyDown = true
+		c.Journal.Sink = nil
+		c.Repl.Reset()
+		c.discardRogue()
+	}
 	c.Log.Append(now, explain.EvAnomaly, "controller", "process crashed")
 }
 
 // Restart brings the controller back and reconciles intended-vs-actual
 // from the journal before the next solve cycle runs (§6: "restarts of
 // the TS-SDN controller... needed to resynchronize with the fleet
-// rather than re-actuate it").
+// rather than re-actuate it"). Under replication a restarting replica
+// that finds a promoted primary already acting rejoins as its warm
+// standby instead; a restarting pair re-acquires the lease at a fresh
+// epoch and re-bootstraps the standby.
 func (c *Controller) Restart() {
 	if !c.down {
+		if c.Repl != nil && c.standbyDown {
+			c.attachStandby()
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "controller",
+				"returning replica %s rejoined as warm standby", c.standbyID)
+		}
 		return
 	}
 	c.down = false
 	c.Frontend.Restart()
-	c.reconcileAfterRestart()
+	if c.Lease != nil {
+		if ep, ok := c.Lease.Acquire(c.actingID, c.Eng.Now()); ok {
+			c.epoch = ep
+		}
+	}
+	c.reconcileFromJournal("restarted")
+	if c.Repl != nil {
+		c.attachStandby()
+	}
 }
 
 // Down reports whether the controller process is currently crashed.
 func (c *Controller) Down() bool { return c.down }
 
-// reconcileAfterRestart rebuilds the intent store from the journal
-// against observed fabric state:
+// reconcileFromJournal rebuilds the intent store from the journal
+// against observed fabric state (how labels the trigger in the log:
+// "restarted" or "promoted"):
 //
 //   - a journaled link intent whose physical link is up is re-adopted
 //     as Established — the work already happened; re-commanding it
@@ -113,7 +142,7 @@ func (c *Controller) Down() bool { return c.down }
 //   - journaled route intents are re-adopted wholesale, preserving
 //     generations so reprograms stay monotonic against the forwarding
 //     entries that survived on the nodes.
-func (c *Controller) reconcileAfterRestart() {
+func (c *Controller) reconcileFromJournal(how string) {
 	now := c.Eng.Now()
 	readoptedLinks, expired := 0, 0
 	for _, li := range c.Journal.Links() {
@@ -142,8 +171,8 @@ func (c *Controller) reconcileAfterRestart() {
 	c.Readopted += readoptedLinks + readoptedRoutes
 	c.ExpiredOnRestart += expired
 	c.Log.Appendf(now, explain.EvAnomaly, "controller",
-		"restarted; reconciled from journal: links readopted=%d expired=%d routes readopted=%d",
-		readoptedLinks, expired, readoptedRoutes)
+		"%s; reconciled from journal: links readopted=%d expired=%d routes readopted=%d",
+		how, readoptedLinks, expired, readoptedRoutes)
 }
 
 // setGatewayDown takes a ground-station site offline (or back): its
@@ -172,6 +201,13 @@ func (c *Controller) setGatewayDown(gs string, down bool) {
 func (c *Controller) rebootAgent(node string) {
 	if a := c.Frontend.RebootAgent(node); a != nil {
 		c.attachReporter(a) // the fresh agent reports like its predecessor
+	}
+	if n := c.nodeByID(node); n != nil {
+		// Re-registration re-seeds the position-plausibility gate from
+		// the controller's own model: a quarantined node must not
+		// inherit its spoofed last-good fix (nor the quarantine flag)
+		// across a reboot.
+		c.PosGuard.Seed(node, n.Position(), c.Eng.Now())
 	}
 	c.Fabric.FailNode(node, radio.ReasonPowerLoss)
 	c.Data.FlushNode(node)
@@ -302,5 +338,15 @@ func (c *Controller) TelemetryDigest() uint64 {
 		c.Reach.Ratio(telemetry.LayerLink),
 		c.Reach.Ratio(telemetry.LayerControl),
 		c.Reach.Ratio(telemetry.LayerData))
+	if c.Lease != nil {
+		w("repl acting=%s epoch=%d grants=%d renewals=%d promotions=%d standdowns=%d rogue=%d pub=%d app=%d drop=%d aj=%x sj=%x\n",
+			c.actingID, c.epoch, len(c.Lease.Grants), c.Lease.Renewals,
+			c.Promotions, c.Standdowns, c.RogueSolves,
+			c.Repl.Published, c.Repl.Applied, c.Repl.DroppedDisconnected,
+			c.Journal.Digest(), c.Repl.StandbyJournal().Digest())
+	}
+	w("fence rej=%d acc=%d regress=%d\n",
+		c.Frontend.StaleEpochRejections(), c.Frontend.StaleEpochAccepts(),
+		c.Frontend.EpochRegressions())
 	return h.Sum64()
 }

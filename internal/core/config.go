@@ -118,6 +118,29 @@ type Config struct {
 	// (satcom command retries already use it).
 	EstablishRetry backoff.Policy
 
+	// --- Controller replication (primary/standby failover) ----------
+
+	// ReplicationEnabled runs the control plane as a replicated pair: a
+	// primary holding a renewable leadership lease plus a warm standby
+	// tailing the journal stream, promoting itself (with a fresh
+	// fencing epoch) when the lease lapses. Off by default so legacy
+	// single-controller scenarios stay byte-identical.
+	ReplicationEnabled bool
+	// LeaseTTLS is the leadership lease time-to-live. A primary that
+	// cannot renew within the TTL is considered dead and the standby
+	// may take over. 0 keeps the default (30 s).
+	LeaseTTLS float64
+	// LeaseCheckS is the lease renew/watch cadence for both replicas.
+	// 0 keeps the default (5 s).
+	LeaseCheckS float64
+	// ReplDelayS is the one-way journal-stream latency primary →
+	// standby (datacenter-to-datacenter). 0 keeps the default (0.5 s).
+	ReplDelayS float64
+	// DisableEpochFencing makes agents enact stale-epoch commands
+	// instead of rejecting them — the pre-fix split-brain behaviour the
+	// chaos-search repros demonstrate. Tests only.
+	DisableEpochFencing bool
+
 	// --- Byzantine-telemetry / partial-partition knobs --------------
 
 	// DisableTelemetryGuard switches off the position-plausibility
@@ -173,6 +196,28 @@ type Config struct {
 	// is what Fig. 8's withdrawn-caused recoveries measure. 0 makes
 	// reprograms near-atomic (a sequenced-actuation ablation).
 	RouteStaggerS float64
+}
+
+// leaseTTL / leaseCheck / replDelay resolve replication knob defaults.
+func (c Config) leaseTTL() float64 {
+	if c.LeaseTTLS > 0 {
+		return c.LeaseTTLS
+	}
+	return 30
+}
+
+func (c Config) leaseCheck() float64 {
+	if c.LeaseCheckS > 0 {
+		return c.LeaseCheckS
+	}
+	return 5
+}
+
+func (c Config) replDelay() float64 {
+	if c.ReplDelayS > 0 {
+		return c.ReplDelayS
+	}
+	return 0.5
 }
 
 // DefaultConfig is a Kenya-like deployment ready for experiments.

@@ -49,7 +49,6 @@ type Controller struct {
 	WxModel   *weather.Fused
 	Evaluator *linkeval.Evaluator
 	Solver    *solver.Solver
-	Intents   *intent.Store
 	Data      *dataplane.State
 	NBI       *nbi.Service
 
@@ -68,7 +67,12 @@ type Controller struct {
 	SolveRuns    int
 
 	// Robustness (chaos harness + crash-restart reconciliation).
-	Journal *Journal
+	// The embedded ctlState is the ACTING control process's state —
+	// intent store, dispatch journal, arm tracking, last plan, fencing
+	// epoch. Field promotion keeps the rest of the controller reading
+	// c.Intents / c.Journal unchanged; a standby promotion swaps the
+	// whole struct at once.
+	ctlState
 	// Crashes / Readopted / ExpiredOnRestart / DuplicateEstablishes
 	// are the restart-safety counters the chaos acceptance test reads:
 	// DuplicateEstablishes counts first-attempt establish commands
@@ -79,15 +83,34 @@ type Controller struct {
 	// PosGuard gates self-reported node positions (byzantine defense).
 	PosGuard *telemetry.PositionGuard
 
+	// Replication (primary/standby failover). Lease is the leadership
+	// cell both replicas race for; Repl is the journal stream the warm
+	// standby tails. Both are nil when Cfg.ReplicationEnabled is false.
+	Lease *LeaseService
+	Repl  *Replicator
+	// Promotions / Standdowns / RogueSolves count failover activity:
+	// standby promotions, deposed-primary standdowns at partition
+	// heal, and solve cycles a deposed primary ran while partitioned.
+	Promotions, Standdowns, RogueSolves int
+
 	gateways []string
 	todOff   float64
-	arms     map[radio.LinkID]*armState
-	wasOn    map[string]bool
+	// rogue is the deposed ex-primary's still-running control process
+	// during a controller partition (nil otherwise).
+	rogue *ctlState
+	// actingID / standbyID name which replica holds each role.
+	actingID, standbyID string
+	// standbyDown marks the standby seat empty (replica dead, or not
+	// yet rejoined after a promotion).
+	standbyDown bool
+	// leasePartitioned blocks the acting primary from reaching the
+	// lease service and the replication stream (controller-partition).
+	leasePartitioned bool
+	wasOn            map[string]bool
 	// linkFails remembers recent establishment failures per pair for
 	// the adaptive-penalty feedback loop (§7 future work).
 	linkFails                   map[radio.LinkID]*failMemory
 	prevHourGraph, prevMinGraph []*linkeval.Report
-	lastPlan                    *solver.Plan
 	// lastEvalStats snapshots the evaluator's cumulative work counters
 	// at the previous solve cycle, for per-cycle telemetry deltas.
 	lastEvalStats linkeval.Stats
@@ -156,6 +179,7 @@ func New(cfg Config) *Controller {
 		agentCfg.ConnCheckIntervalS = cfg.AgentConnCheckS
 		agentCfg.HeartbeatIntervalS = cfg.AgentConnCheckS
 	}
+	agentCfg.DisableEpochFencing = cfg.DisableEpochFencing
 	feCfg := cdpi.DefaultFrontendConfig()
 	if cfg.TTESatcomOverrideS > 0 {
 		feCfg.TTESatcomS = cfg.TTESatcomOverrideS
@@ -205,8 +229,13 @@ func New(cfg Config) *Controller {
 		Wx: wx, Wind: wd, FMS: fms, Fleet: fleet, Fabric: fabric,
 		Router: router, Net: net, Sat: sat, InBand: ib, Frontend: fe,
 		Gauges: gauges, WxModel: fused,
-		Solver:       solver.New(solverCfg),
-		Intents:      intent.NewStore(),
+		Solver: solver.New(solverCfg),
+		ctlState: ctlState{
+			Intents: intent.NewStore(),
+			Journal: NewJournal(),
+			arms:    map[radio.LinkID]*armState{},
+			replica: "ctl-a",
+		},
 		Data:         dataplane.NewState(),
 		NBI:          nbi.NewService(),
 		Reach:        telemetry.NewReachability(reachPeriod),
@@ -219,10 +248,8 @@ func New(cfg Config) *Controller {
 		PosGuard:     newPositionGuard(cfg),
 		Log:          &explain.Log{Cap: 200000},
 		Scrubber:     &explain.Scrubber{Cap: 5000},
-		Journal:      NewJournal(),
 		gateways:     gateways,
 		todOff:       cfg.StartTODHours * 3600,
-		arms:         map[radio.LinkID]*armState{},
 		wasOn:        map[string]bool{},
 		linkFails:    map[radio.LinkID]*failMemory{},
 		gwDown:       map[string]bool{},
@@ -246,6 +273,17 @@ func New(cfg Config) *Controller {
 		c.registerNode(n)
 	}
 	fleet.DrainEvents() // initial joins are handled
+	if cfg.ReplicationEnabled {
+		// Replica ctl-a starts as primary (it takes the lease at t=0,
+		// epoch 1) with ctl-b as its warm standby, bootstrapped from a
+		// snapshot of the (empty) journal and tailing every write.
+		c.actingID, c.standbyID = "ctl-a", "ctl-b"
+		c.Lease = &LeaseService{TTLS: cfg.leaseTTL()}
+		ep, _ := c.Lease.Acquire(c.actingID, 0)
+		c.epoch = ep
+		c.Repl = NewReplicator(eng, cfg.replDelay())
+		c.attachStandby()
+	}
 	c.install()
 	return c
 }
@@ -407,6 +445,15 @@ func (c *Controller) install() {
 	if c.Cfg.ChurnSampling {
 		eng.Every(60, func() bool {
 			c.sampleChurn()
+			return true
+		})
+	}
+	// Lease renew/watch loop (replication only). Deliberately NOT
+	// gated on c.down: the standby replica's watchdog is exactly what
+	// must keep running while the primary process is dead.
+	if c.Cfg.ReplicationEnabled {
+		eng.Every(c.Cfg.leaseCheck(), func() bool {
+			c.leaseTick()
 			return true
 		})
 	}

@@ -1,11 +1,24 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"minkowski/internal/intent"
 	"minkowski/internal/radio"
 )
+
+// JournalSink observes journal mutations. Payloads handed to a sink
+// are the journal's own deep copies — a sink that retains them (the
+// replication stream does) must clone again before crossing an
+// asynchronous boundary.
+type JournalSink interface {
+	LinkWritten(li *intent.LinkIntent)
+	LinkDropped(id radio.LinkID)
+	RouteWritten(ri *intent.RouteIntent)
+	RouteDropped(id string)
+}
 
 // Journal is the controller's dispatch-time write-ahead record: a copy
 // of every live link and route intent, updated at each state
@@ -23,6 +36,9 @@ type Journal struct {
 	routes map[string]*intent.RouteIntent
 	// Writes counts journal updates (telemetry/testing).
 	Writes int
+	// Sink, when set, observes every mutation — the tap the standby
+	// replication stream rides. The standby's own journal has no sink.
+	Sink JournalSink
 }
 
 // NewJournal creates an empty journal.
@@ -38,13 +54,21 @@ func (j *Journal) RecordLink(li *intent.LinkIntent) {
 	if li == nil {
 		return
 	}
-	cp := *li
-	j.links[li.Link] = &cp
+	cp := li.Clone()
+	j.links[li.Link] = cp
 	j.Writes++
+	if j.Sink != nil {
+		j.Sink.LinkWritten(cp)
+	}
 }
 
 // DropLink removes a terminated link intent.
-func (j *Journal) DropLink(id radio.LinkID) { delete(j.links, id) }
+func (j *Journal) DropLink(id radio.LinkID) {
+	delete(j.links, id)
+	if j.Sink != nil {
+		j.Sink.LinkDropped(id)
+	}
+}
 
 // HasLink reports whether the journal holds a record for this link —
 // i.e. the controller durably knows it already dispatched work for it.
@@ -58,14 +82,21 @@ func (j *Journal) RecordRoute(ri *intent.RouteIntent) {
 	if ri == nil {
 		return
 	}
-	cp := *ri
-	cp.Path = append([]string(nil), ri.Path...)
-	j.routes[ri.ID] = &cp
+	cp := ri.Clone()
+	j.routes[ri.ID] = cp
 	j.Writes++
+	if j.Sink != nil {
+		j.Sink.RouteWritten(cp)
+	}
 }
 
 // DropRoute removes a terminated route intent.
-func (j *Journal) DropRoute(id string) { delete(j.routes, id) }
+func (j *Journal) DropRoute(id string) {
+	delete(j.routes, id)
+	if j.Sink != nil {
+		j.Sink.RouteDropped(id)
+	}
+}
 
 // Links returns journaled link intents sorted by link ID (restart
 // reconciliation must iterate deterministically).
@@ -91,4 +122,33 @@ func (j *Journal) Routes() []*intent.RouteIntent {
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
+}
+
+// Clone deep-copies the journal's contents (sink and write counter
+// excluded) — the bootstrap snapshot a standby starts tailing from.
+func (j *Journal) Clone() *Journal {
+	out := NewJournal()
+	for id, li := range j.links {
+		out.links[id] = li.Clone()
+	}
+	for id, ri := range j.routes {
+		out.routes[id] = ri.Clone()
+	}
+	return out
+}
+
+// Digest hashes the journal's semantic content in deterministic order,
+// so primary/standby convergence is a single comparison.
+func (j *Journal) Digest() uint64 {
+	h := fnv.New64a()
+	for _, li := range j.Links() {
+		fmt.Fprintf(h, "l %s %d %d %d %.3f %.3f %.3f\n",
+			li.Link, li.ID, int(li.State), li.Attempts,
+			li.CreatedAt, li.CommandedAt, li.EstablishedAt)
+	}
+	for _, ri := range j.Routes() {
+		fmt.Fprintf(h, "r %s %d %d %v %.3f\n",
+			ri.ID, ri.Generation, int(ri.State), ri.Path, ri.CreatedAt)
+	}
+	return h.Sum64()
 }

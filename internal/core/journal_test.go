@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"minkowski/internal/intent"
+	"minkowski/internal/radio"
+	"minkowski/internal/sim"
+)
+
+// captureSink retains every payload the journal hands it, standing in
+// for the replication stream in isolation tests.
+type captureSink struct {
+	links  []*intent.LinkIntent
+	routes []*intent.RouteIntent
+}
+
+func (s *captureSink) LinkWritten(li *intent.LinkIntent)   { s.links = append(s.links, li) }
+func (s *captureSink) LinkDropped(id radio.LinkID)         {}
+func (s *captureSink) RouteWritten(ri *intent.RouteIntent) { s.routes = append(s.routes, ri) }
+func (s *captureSink) RouteDropped(id string)              {}
+
+// TestJournalDeepCopyIsolation is the property the journal's crash
+// semantics depend on: RecordLink/RecordRoute must deep-copy, so
+// mutating the live intent after recording changes neither the
+// journaled entry nor the payload handed to the sink. A shared pointer
+// here would let the dying process rewrite history.
+func TestJournalDeepCopyIsolation(t *testing.T) {
+	j := NewJournal()
+	sink := &captureSink{}
+	j.Sink = sink
+
+	li := &intent.LinkIntent{
+		ID:    42,
+		Link:  radio.MakeLinkID("a/xcvr-0", "b/xcvr-1"),
+		XA:    "a/xcvr-0",
+		XB:    "b/xcvr-1",
+		NodeA: "a", NodeB: "b",
+		State:       intent.LinkCommanded,
+		CreatedAt:   10,
+		CommandedAt: 11,
+		Attempts:    1,
+	}
+	j.RecordLink(li)
+	ri := &intent.RouteIntent{
+		ID:         "backhaul/a",
+		Path:       []string{"a", "b", "gs-nairobi"},
+		Generation: 1,
+		State:      intent.RoutePending,
+		CreatedAt:  12,
+	}
+	j.RecordRoute(ri)
+
+	// Mutate the live intents the way the controller does on the next
+	// state transition.
+	li.State = intent.LinkEstablished
+	li.EstablishedAt = 99
+	li.Attempts = 7
+	ri.State = intent.RouteProgrammed
+	ri.Generation = 5
+	ri.Path[1] = "MUTATED"
+	ri.Path = append(ri.Path, "EXTRA")
+
+	jl := j.Links()
+	if len(jl) != 1 {
+		t.Fatalf("journaled links = %d, want 1", len(jl))
+	}
+	if jl[0] == li {
+		t.Fatal("journal retained the live link intent pointer")
+	}
+	if jl[0].State != intent.LinkCommanded || jl[0].EstablishedAt != 0 || jl[0].Attempts != 1 {
+		t.Errorf("journaled link mutated through the live intent: %+v", *jl[0])
+	}
+	jr := j.Routes()
+	if len(jr) != 1 {
+		t.Fatalf("journaled routes = %d, want 1", len(jr))
+	}
+	if jr[0] == ri {
+		t.Fatal("journal retained the live route intent pointer")
+	}
+	if jr[0].State != intent.RoutePending || jr[0].Generation != 1 {
+		t.Errorf("journaled route mutated through the live intent: %+v", *jr[0])
+	}
+	if len(jr[0].Path) != 3 || jr[0].Path[1] != "b" {
+		t.Errorf("journaled route path shares backing store with the live intent: %v", jr[0].Path)
+	}
+
+	// The sink payload (what the replication stream sees) must be just
+	// as isolated from the live intent.
+	if len(sink.links) != 1 || len(sink.routes) != 1 {
+		t.Fatalf("sink saw %d links / %d routes, want 1 / 1", len(sink.links), len(sink.routes))
+	}
+	if sink.links[0] == li {
+		t.Fatal("sink received the live link intent pointer")
+	}
+	if sink.links[0].State != intent.LinkCommanded || sink.links[0].Attempts != 1 {
+		t.Errorf("sink link payload mutated through the live intent: %+v", *sink.links[0])
+	}
+	if sink.routes[0] == ri {
+		t.Fatal("sink received the live route intent pointer")
+	}
+	if len(sink.routes[0].Path) != 3 || sink.routes[0].Path[1] != "b" {
+		t.Errorf("sink route payload shares path backing store: %v", sink.routes[0].Path)
+	}
+}
+
+// TestReplicatorPayloadIsolation pushes the same property one hop
+// further: the replication stream clones again before crossing its
+// asynchronous boundary, so mutating the primary's journaled copy after
+// the write (a subsequent RecordLink on the same key) cannot corrupt
+// what lands at the standby.
+func TestReplicatorPayloadIsolation(t *testing.T) {
+	eng := sim.New(1)
+	r := NewReplicator(eng, 0.5)
+	primary := NewJournal()
+	r.Bootstrap(primary, 1)
+	primary.Sink = r
+
+	li := &intent.LinkIntent{
+		ID:        7,
+		Link:      radio.MakeLinkID("a/x0", "b/x1"),
+		State:     intent.LinkCommanded,
+		CreatedAt: 1,
+	}
+	primary.RecordLink(li)
+	// Mutate the live intent while the event is in flight.
+	li.State = intent.LinkFailed
+	li.Attempts = 3
+	eng.Run(1)
+
+	got := r.StandbyJournal().Links()
+	if len(got) != 1 {
+		t.Fatalf("standby links = %d, want 1", len(got))
+	}
+	if got[0].State != intent.LinkCommanded || got[0].Attempts != 0 {
+		t.Errorf("standby copy mutated through the live intent: %+v", *got[0])
+	}
+	if r.Applied != 1 {
+		t.Errorf("Applied = %d, want 1", r.Applied)
+	}
+	if primary.Digest() == r.StandbyJournal().Digest() {
+		t.Log("digests equal (expected: primary mutation happened on the live intent, not the journal)")
+	}
+	// Re-record the mutated intent; after the delay the standby must
+	// converge to the primary's journal exactly.
+	primary.RecordLink(li)
+	eng.Run(2)
+	if a, s := primary.Digest(), r.StandbyJournal().Digest(); a != s {
+		t.Errorf("digests diverge after stream drain: primary=%x standby=%x", a, s)
+	}
+}

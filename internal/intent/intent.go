@@ -86,6 +86,15 @@ func (li *LinkIntent) String() string {
 	return fmt.Sprintf("link-intent %d %s [%s]", li.ID, li.Link, li.State)
 }
 
+// Clone returns an independent deep copy. Journal entries and
+// replication-stream payloads must not share mutable state with the
+// live store, or a later state transition would silently rewrite
+// history.
+func (li *LinkIntent) Clone() *LinkIntent {
+	cp := *li
+	return &cp
+}
+
 // RouteState is the lifecycle of a route intent.
 type RouteState int
 
@@ -120,6 +129,13 @@ type RouteIntent struct {
 	Generation                         int
 	State                              RouteState
 	CreatedAt, ProgrammedAt, RemovedAt float64
+}
+
+// Clone returns an independent deep copy (including the path slice).
+func (ri *RouteIntent) Clone() *RouteIntent {
+	cp := *ri
+	cp.Path = append([]string(nil), ri.Path...)
+	return &cp
 }
 
 // Store tracks all intents and their history.

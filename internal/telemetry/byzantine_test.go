@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"testing"
+
+	"minkowski/internal/geo"
+)
+
+// TestPositionGuardReseedClearsQuarantine covers the agent
+// re-registration path: a quarantined node that reboots re-seeds its
+// envelope from the controller's own model. The reseed must clear the
+// quarantine and anchor the envelope at the trusted position — NOT at
+// the spoofed fix the node was quarantined for.
+func TestPositionGuardReseedClearsQuarantine(t *testing.T) {
+	g := NewPositionGuard()
+	home := geo.LLADeg(-1.0, 36.8, 19000)
+	g.Seed("n1", home, 0)
+
+	spoof := geo.LLADeg(30.0, -100.0, 19000) // another continent
+	if g.Observe("n1", spoof, 10) {
+		t.Fatal("spoofed report accepted")
+	}
+	if !g.Quarantined("n1") {
+		t.Fatal("node not quarantined after implausible report")
+	}
+
+	// Reboot/re-register: the controller seeds from its model position.
+	model := geo.LLADeg(-1.01, 36.81, 19050)
+	g.Seed("n1", model, 20)
+	if g.Quarantined("n1") {
+		t.Error("quarantine survived re-registration reseed")
+	}
+	pos, at, ok := g.LastGood("n1")
+	if !ok || at != 20 {
+		t.Fatalf("LastGood = (%v, %v, %v), want the reseeded fix at t=20", pos, at, ok)
+	}
+	if geo.SlantRange(pos, model) > 1 {
+		t.Errorf("envelope anchored at %v, want the model position %v", pos, model)
+	}
+
+	// Post-reseed behavior: honest reports near the model pass, the old
+	// spoof location is still rejected.
+	near := geo.LLADeg(-1.02, 36.82, 19050)
+	if !g.Observe("n1", near, 30) {
+		t.Error("plausible post-reseed report rejected")
+	}
+	if g.Observe("n1", spoof, 40) {
+		t.Error("spoofed report accepted after reseed — envelope inherited the spoofed fix")
+	}
+	if !g.Quarantined("n1") {
+		t.Error("node not re-quarantined after the spoof resumed")
+	}
+}
+
+// TestPositionGuardSeedDoesNotInheritSpoof is the negative space of the
+// reseed: quarantining never advances the reference fix, so even many
+// rejected reports leave the envelope where the last trusted fix put
+// it (a patient attacker cannot walk it outward).
+func TestPositionGuardSeedDoesNotInheritSpoof(t *testing.T) {
+	g := NewPositionGuard()
+	home := geo.LLADeg(-1.0, 36.8, 19000)
+	g.Seed("n1", home, 0)
+
+	spoof := geo.LLADeg(5.0, 40.0, 19000)
+	for i := 0; i < 5; i++ {
+		if g.Observe("n1", spoof, float64(10+i)) {
+			t.Fatalf("spoofed report %d accepted", i)
+		}
+	}
+	pos, at, _ := g.LastGood("n1")
+	if at != 0 || geo.SlantRange(pos, home) > 1 {
+		t.Errorf("reference fix moved under rejected reports: pos=%v at=%v", pos, at)
+	}
+	if g.Rejected != 5 {
+		t.Errorf("Rejected = %d, want 5", g.Rejected)
+	}
+}

@@ -95,6 +95,13 @@ const (
 	// ByzantineTelemetry makes a node report spoofed positions and
 	// inflated link margins until the window ends.
 	ByzantineTelemetry = chaos.ByzantineTelemetry
+	// ControllerFailover kills only the acting primary replica; the
+	// warm standby promotes itself once the leadership lease lapses.
+	ControllerFailover = chaos.ControllerFailover
+	// ControllerPartition isolates the acting primary from the lease
+	// service and the standby while its process stays live — the
+	// split-brain setup that agent-side epoch fencing neutralizes.
+	ControllerPartition = chaos.ControllerPartition
 )
 
 // StandardChaos returns the standard fault script: a controller crash
