@@ -1,20 +1,24 @@
-// Command benchguard is the CI benchmark-regression gate for the Link
-// Evaluator. It compares a freshly measured BENCH_linkeval.json (see
-// TestWriteBenchJSON in internal/linkeval) against the committed
-// baseline and fails if evaluation throughput regressed by more than
-// the allowed fraction.
+// Command benchguard is the CI benchmark-regression gate. It compares
+// a freshly measured benchmark summary (BENCH_linkeval.json from
+// internal/linkeval's TestWriteBenchJSON, or BENCH_solver.json from
+// internal/solver's) against the committed baseline and fails if any
+// speedup ratio regressed by more than the allowed fraction.
 //
 // CI machines differ wildly in absolute speed, so the guard never
-// compares ns/op across runs. It compares the *speedup ratios*
-// (brute-force time ÷ incremental time), which divide out the
-// machine: a >20% drop in cold or warm speedup at any scale means the
-// incremental pipeline itself got slower relative to the brute-force
-// reference measured on the same box, and the build fails.
+// compares ns/op across runs. It compares *speedup ratios* — every
+// numeric field whose name contains "speedup" (e.g.
+// cold_speedup_vs_brute, warm_speedup_vs_reference) — which divide
+// out the machine: a >20% drop at any scale means the optimized path
+// itself got slower relative to the reference measured on the same
+// box, and the build fails. Other fields (ns/op, hit rates) are
+// carried in the JSON for humans but never gated.
 //
 // Usage:
 //
 //	go run ./cmd/benchguard -current BENCH_linkeval.json \
 //	    -baseline internal/linkeval/testdata/bench_baseline.json
+//	go run ./cmd/benchguard -current BENCH_solver.json \
+//	    -baseline internal/solver/testdata/bench_baseline.json
 package main
 
 import (
@@ -23,17 +27,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
-type record struct {
-	BruteNsOp   float64 `json:"brute_ns_op"`
-	ColdNsOp    float64 `json:"incremental_cold_ns_op"`
-	WarmNsOp    float64 `json:"incremental_warm_ns_op"`
-	PairsPerSec float64 `json:"incremental_pairs_per_s"`
-	WarmHitRate float64 `json:"warm_cache_hit_rate"`
-	ColdSpeedup float64 `json:"cold_speedup_vs_brute"`
-	WarmSpeedup float64 `json:"warm_speedup_vs_brute"`
-}
+// record is one scale's row: field name → value. Parsing into a loose
+// map keeps the guard schema-agnostic — any summary whose rows are
+// flat numeric objects works, and new speedup fields are gated the
+// moment a baseline records them.
+type record map[string]float64
 
 func load(path string) (map[string]record, error) {
 	data, err := os.ReadFile(path)
@@ -48,6 +49,18 @@ func load(path string) (map[string]record, error) {
 		return nil, fmt.Errorf("%s: no benchmark records", path)
 	}
 	return m, nil
+}
+
+// speedupFields returns the gated field names of a row, sorted.
+func speedupFields(r record) []string {
+	var fs []string
+	for name := range r {
+		if strings.Contains(name, "speedup") {
+			fs = append(fs, name)
+		}
+	}
+	sort.Strings(fs)
+	return fs
 }
 
 func main() {
@@ -74,17 +87,19 @@ func main() {
 	sort.Strings(scales)
 
 	failed := false
+	gated := 0
 	check := func(scale, name string, cur, base float64) {
 		if base <= 0 {
 			return
 		}
+		gated++
 		floor := base * (1 - *maxDrop)
 		status := "ok"
 		if cur < floor {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%-8s %-14s current %6.2fx  baseline %6.2fx  floor %6.2fx  %s\n",
+		fmt.Printf("%-8s %-36s current %6.2fx  baseline %6.2fx  floor %6.2fx  %s\n",
 			scale, name, cur, base, floor, status)
 	}
 	for _, scale := range scales {
@@ -95,12 +110,17 @@ func main() {
 			failed = true
 			continue
 		}
-		check(scale, "cold-speedup", cur.ColdSpeedup, base.ColdSpeedup)
-		check(scale, "warm-speedup", cur.WarmSpeedup, base.WarmSpeedup)
+		for _, name := range speedupFields(base) {
+			check(scale, name, cur[name], base[name])
+		}
+	}
+	if gated == 0 && !failed {
+		fmt.Fprintln(os.Stderr, "benchguard: baseline has no speedup fields to gate")
+		os.Exit(2)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: evaluator speedup regressed more than %.0f%% vs baseline\n", *maxDrop*100)
+		fmt.Fprintf(os.Stderr, "benchguard: speedup regressed more than %.0f%% vs baseline\n", *maxDrop*100)
 		os.Exit(1)
 	}
-	fmt.Println("benchguard: evaluator speedups within regression bounds")
+	fmt.Println("benchguard: speedups within regression bounds")
 }

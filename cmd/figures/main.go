@@ -30,6 +30,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV series into (optional)")
 	cpuProfile := flag.String("profile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	solveWorkers := flag.Int("solve-workers", 0, "solver fan-out width (0 = one worker per core); results are byte-identical at any setting")
+	coldSolve := flag.Bool("cold-solve", false, "disable warm-started solving (measure the incremental re-solve's contribution)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -60,7 +62,7 @@ func main() {
 		}()
 	}
 
-	o := experiments.Options{Seed: *seed, Scale: *scale}
+	o := experiments.Options{Seed: *seed, Scale: *scale, SolveWorkers: *solveWorkers, ColdSolve: *coldSolve}
 	var results []*experiments.Result
 	switch strings.ToLower(*fig) {
 	case "all":

@@ -37,9 +37,11 @@ type Options struct {
 	GhostGraceS float64
 	// PromotionBoundS is the time after the leadership lease can
 	// first lapse within which a standby must have promoted and
-	// resumed solving. 0 = default (150 s: one lease check past the
+	// resumed solving. 0 = default (90 s: one lease check past the
 	// TTL for the takeover, immediate reconciliation, at most one
-	// 60 s solve interval, the rest slack).
+	// 60 s solve interval, a little slack — tightened from the
+	// original 150 s once the standby started adopting the streamed
+	// solver warm state instead of re-deriving everything cold).
 	PromotionBoundS float64
 }
 
@@ -68,7 +70,7 @@ func (o Options) promotionBound() float64 {
 	if o.PromotionBoundS > 0 {
 		return o.PromotionBoundS
 	}
-	return 150
+	return 90
 }
 
 // Result is one script execution's verdict.

@@ -88,6 +88,23 @@ type Config struct {
 	// drifting fleets.
 	EvalDisplacementEpsM float64
 
+	// --- Solve-pipeline performance knobs ---------------------------
+
+	// SolveWorkers caps the solver's per-request shortest-path fan-out
+	// (and forwards to solver.Config.Workers). 0 = GOMAXPROCS. Plans
+	// are byte-identical at every value.
+	SolveWorkers int
+	// WarmSolve carries solver warm-start state between solve cycles
+	// so unchanged requests skip re-routing; output plans stay
+	// byte-identical to cold solves. DefaultConfig enables it; the
+	// zero Config leaves it off so legacy scenarios are untouched.
+	WarmSolve bool
+	// DisableStandbyPrewarm stops the primary from streaming its
+	// solver warm state to the standby and drops the evaluator cache
+	// at promotion — the pre-fix cold-standby behaviour, kept for the
+	// promotion-latency contrast experiment. Tests only.
+	DisableStandbyPrewarm bool
+
 	// --- Robustness knobs -------------------------------------------
 
 	// FailMemoryHorizonS evicts adaptive-penalty failure memory whose
@@ -246,6 +263,7 @@ func DefaultConfig() Config {
 			{ID: "gs-nakuru", Pos: nakuru, Terrain: terrain(310, 140), ECLatency: 0.025},
 		},
 		SolveIntervalS:        120,
+		WarmSolve:             true,
 		PredictiveLeadS:       180,
 		TelemetrySampleS:      30,
 		AgentConnCheckS:       10,

@@ -92,6 +92,9 @@ type Controller struct {
 	// standby promotions, deposed-primary standdowns at partition
 	// heal, and solve cycles a deposed primary ran while partitioned.
 	Promotions, Standdowns, RogueSolves int
+	// WarmAdoptions counts promotions that adopted a streamed solver
+	// warm-state snapshot (hot-standby pre-warm).
+	WarmAdoptions int
 
 	gateways []string
 	todOff   float64
@@ -219,6 +222,7 @@ func New(cfg Config) *Controller {
 	if cfg.SolverHysteresisBonus >= 0 {
 		solverCfg.HysteresisBonus = cfg.SolverHysteresisBonus
 	}
+	solverCfg.Workers = cfg.SolveWorkers
 
 	reachPeriod := cfg.ReachabilityPeriodS
 	if reachPeriod <= 0 {
@@ -571,7 +575,7 @@ func (c *Controller) solveCycle() {
 	if len(xcvrs) == 0 {
 		return
 	}
-	graph := c.Evaluator.CandidateGraph(xcvrs, c.Cfg.PredictiveLeadS)
+	graph, edgeDelta := c.Evaluator.CandidateGraphDelta(xcvrs, c.Cfg.PredictiveLeadS)
 	evalDelta := c.Evaluator.Stats().Sub(c.lastEvalStats)
 	c.lastEvalStats = c.Evaluator.Stats()
 	existing := map[radio.LinkID]bool{}
@@ -586,13 +590,28 @@ func (c *Controller) solveCycle() {
 		Drained:    c.drainedWithChaos(),
 		Penalties:  c.adaptivePenalties(),
 	}
-	plan := c.Solver.Solve(in)
+	var plan *solver.Plan
+	if c.Cfg.WarmSolve {
+		if c.warm == nil {
+			c.warm = solver.NewWarm()
+		}
+		plan = c.Solver.SolveWarm(in, c.warm)
+		if c.Repl != nil && !c.leasePartitioned {
+			// Stream this cycle's warm state to the standby seat so a
+			// promotion starts with a hot solver.
+			c.Repl.PublishWarm(c.warm)
+		}
+	} else {
+		plan = c.Solver.Solve(in)
+	}
 	c.lastPlan = plan
 	c.realignRoutes()
+	ws := c.warm.Stats()
 	c.Log.Appendf(now, explain.EvSolve, fmt.Sprintf("cycle-%d", c.SolveRuns),
-		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f evalpairs=%d pruned=%d reevals=%d cachehits=%d",
+		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f evalpairs=%d pruned=%d reevals=%d cachehits=%d edgechurn=%d pathreuse=%d/%d",
 		len(graph), len(plan.Links), plan.RedundantCount(), len(plan.Routes), len(plan.Unsatisfied), plan.Utility,
-		evalDelta.PairsEnumerated, evalDelta.PairsPruned, evalDelta.ReEvals, evalDelta.CacheHits)
+		evalDelta.PairsEnumerated, evalDelta.PairsPruned, evalDelta.ReEvals, evalDelta.CacheHits,
+		edgeDelta.Churn(), ws.LastReused, ws.LastReused+ws.LastRecomputed)
 	acts := c.Intents.Reconcile(plan, now)
 	c.actuate(acts)
 	// Snapshot for the scrubber.

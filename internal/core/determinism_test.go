@@ -14,13 +14,21 @@ import (
 // dispatch journal and a byte-identical final candidate graph. Any
 // wall-clock read, unseeded RNG, or unsorted map sweep anywhere in
 // the control loop shows up here as a diff.
+// Beyond run-to-run stability, the same scenario is replayed across
+// solve-pipeline configurations — multiple SolveWorkers settings and
+// warm-start off — and every variant must be byte-identical to the
+// baseline: worker count and warm reuse are throughput knobs, never
+// semantic ones.
 func TestEndToEndDeterminism(t *testing.T) {
-	run := func() []byte {
+	run := func(mut func(*Config)) []byte {
 		cfg := DefaultConfig()
 		cfg.Seed = 7
 		cfg.FleetSize = 11 // experiments.baseScenario at scale 1
 		cfg.SolveIntervalS = 120
 		cfg.AgentConnCheckS = 10
+		if mut != nil {
+			mut(&cfg)
+		}
 		c := New(cfg)
 		c.RunHours(2)
 
@@ -40,9 +48,11 @@ func TestEndToEndDeterminism(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	a := run()
-	b := run()
-	if !bytes.Equal(a, b) {
+	diff := func(label string, a, b []byte) {
+		t.Helper()
+		if bytes.Equal(a, b) {
+			return
+		}
 		la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
 		n := len(la)
 		if len(lb) < n {
@@ -50,14 +60,21 @@ func TestEndToEndDeterminism(t *testing.T) {
 		}
 		for i := 0; i < n; i++ {
 			if !bytes.Equal(la[i], lb[i]) {
-				t.Fatalf("runs diverge at line %d:\n  run1: %s\n  run2: %s", i+1, la[i], lb[i])
+				t.Fatalf("%s diverges at line %d:\n  base:    %s\n  variant: %s", label, i+1, la[i], lb[i])
 			}
 		}
-		t.Fatalf("runs diverge in length: %d vs %d lines", len(la), len(lb))
+		t.Fatalf("%s diverges in length: %d vs %d lines", label, len(la), len(lb))
 	}
-	if len(a) == 0 {
+
+	base := run(nil)
+	if len(base) == 0 {
 		t.Fatal("empty journal + graph — scenario produced no activity")
 	}
+	diff("repeat run", base, run(nil))
+	diff("SolveWorkers=2", base, run(func(cfg *Config) { cfg.SolveWorkers = 2 }))
+	diff("SolveWorkers=8", base, run(func(cfg *Config) { cfg.SolveWorkers = 8 }))
+	diff("WarmSolve=false", base, run(func(cfg *Config) { cfg.WarmSolve = false }))
+	diff("cold+workers", base, run(func(cfg *Config) { cfg.WarmSolve = false; cfg.SolveWorkers = 4 }))
 }
 
 // TestEndToEndDeterminismScale3Chaos extends the determinism

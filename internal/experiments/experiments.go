@@ -57,6 +57,14 @@ type Options struct {
 	Seed int64
 	// Scale multiplies fleet size and duration (1 = quick).
 	Scale int
+	// SolveWorkers caps the solver's per-request fan-out (0 = one
+	// worker per core). Output is byte-identical at any setting — this
+	// is a wall-clock knob for the larger scales only.
+	SolveWorkers int
+	// ColdSolve disables warm-started solving (every cycle recomputes
+	// all initial paths). Results are byte-identical either way; the
+	// flag exists to measure the warm path's contribution.
+	ColdSolve bool
 }
 
 // DefaultOptions is the quick configuration used by benches.
@@ -76,6 +84,8 @@ func baseScenario(o Options) core.Config {
 	cfg.FleetSize = 6 + 5*o.scale() // 11 at scale 1, 21 at scale 3
 	cfg.SolveIntervalS = 120
 	cfg.AgentConnCheckS = 10
+	cfg.SolveWorkers = o.SolveWorkers
+	cfg.WarmSolve = !o.ColdSolve
 	return cfg
 }
 

@@ -202,6 +202,10 @@ type Evaluator struct {
 	cache        map[radio.LinkID]cacheEntry
 	stats        Stats
 	scr          graphScratch
+
+	// last is the previous CandidateGraphDelta emission (value
+	// snapshots, ID-sorted), for edge-delta computation.
+	last []Report
 }
 
 // New creates an evaluator.

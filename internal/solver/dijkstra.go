@@ -1,0 +1,296 @@
+package solver
+
+// The solve pipeline's shortest-path core. This replaces the seed's
+// map-keyed Dijkstra with index arrays and a concrete (non-interface)
+// binary heap, but it is deliberately NOT free to pick its own
+// tie-breaks: the heap reproduces container/heap's exact sift
+// algorithm with the seed's dist-only ordering, relaxation uses the
+// seed's strict-< rule, and adjacency is scanned in candidate-index
+// order. Every comparison and swap the seed implementation performed
+// happens here in the same sequence, so the popped-node order — and
+// therefore the chosen path, including equal-cost ties — is identical
+// to `SolveReference` step by step. The equivalence property tests
+// (solver_equivalence_test.go) pin this.
+
+// heapItem is one Dijkstra frontier entry.
+type heapItem struct {
+	dist float64
+	node int32
+	hops int32
+}
+
+// nodeHeap is a binary min-heap of frontier entries ordered by dist
+// only, with container/heap's exact up/down sift so the pop order
+// among equal-dist entries matches the seed's boxed heap bit for bit.
+type nodeHeap []heapItem
+
+func (h *nodeHeap) push(it heapItem) {
+	hh := append(*h, it)
+	j := len(hh) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(hh[j].dist < hh[i].dist) {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		j = i
+	}
+	*h = hh
+}
+
+func (h *nodeHeap) pop() heapItem {
+	hh := *h
+	n := len(hh) - 1
+	hh[0], hh[n] = hh[n], hh[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && hh[j2].dist < hh[j1].dist {
+			j = j2
+		}
+		if !(hh[j].dist < hh[i].dist) {
+			break
+		}
+		hh[i], hh[j] = hh[j], hh[i]
+		i = j
+	}
+	it := hh[n]
+	*h = hh[:n]
+	return it
+}
+
+// spScratch is one worker's Dijkstra state: stamp-validated per-node
+// arrays (no O(V) clearing between runs) plus the frontier heap.
+// Workers of one solve share nothing but the read-only ctx, so the
+// parallel per-request fan-out is race-free by construction.
+type spScratch struct {
+	heap     nodeHeap
+	dist     []float64
+	seen     []uint32 // stamp when dist/prev* are valid
+	done     []uint32 // stamp when the node was popped
+	prevEdge []int32
+	prevNode []int32
+	stamp    uint32
+	popped   []int32 // nodes popped by the current run (warm recording)
+}
+
+func (s *spScratch) ensure(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.seen = make([]uint32, n)
+		s.done = make([]uint32, n)
+		s.prevEdge = make([]int32, n)
+		s.prevNode = make([]int32, n)
+		s.stamp = 0
+	}
+	s.dist = s.dist[:n]
+	s.seen = s.seen[:n]
+	s.done = s.done[:n]
+	s.prevEdge = s.prevEdge[:n]
+	s.prevNode = s.prevNode[:n]
+}
+
+// begin starts a fresh run: bump the stamp (lazily invalidating every
+// per-node entry) and reset the frontier.
+func (s *spScratch) begin() uint32 {
+	if s.stamp == ^uint32(0) {
+		// Stamp wrap (once per 4G runs): hard-reset the arrays.
+		for i := range s.seen {
+			s.seen[i] = 0
+			s.done[i] = 0
+		}
+		s.stamp = 0
+	}
+	s.stamp++
+	s.heap = s.heap[:0]
+	s.popped = s.popped[:0]
+	return s.stamp
+}
+
+// shortestPath routes request ri over viable ∪ chosen edges (or
+// chosen-only when chosenOnly), writing the edge-index path into
+// c.paths[ri] (reused backing) and the found flag into c.has[ri].
+// When record is set the popped-node list is kept in ws.popped for
+// warm-state bookkeeping. Semantics — including the order equal-cost
+// ties resolve in — match SolveReference exactly; see the package
+// comment in this file.
+//
+//minkowski:hotpath
+func (c *ctx) shortestPath(ri int32, chosenOnly bool, ws *spScratch, record bool) {
+	rq := &c.reqs[ri]
+	out := c.paths[ri][:0]
+	if rq.srcIsDst {
+		c.paths[ri] = out
+		c.has[ri] = true
+		return
+	}
+	st := ws.begin()
+	ws.dist[rq.src] = 0
+	ws.seen[rq.src] = st
+	ws.heap.push(heapItem{dist: 0, node: rq.src, hops: 0})
+	maxHops := int32(c.cfg.MaxPathLen)
+	adj := c.adj
+	if chosenOnly {
+		adj = c.chosenAdj
+	}
+	for len(ws.heap) > 0 {
+		cur := ws.heap.pop()
+		if ws.done[cur.node] == st {
+			continue
+		}
+		ws.done[cur.node] = st
+		if record {
+			ws.popped = append(ws.popped, cur.node)
+		}
+		if cur.node == rq.dst || (rq.dst < 0 && c.gw[cur.node]) {
+			// Reconstruct: count, size exactly, fill backwards.
+			n := cur.node
+			cnt := 0
+			for n != rq.src {
+				cnt++
+				n = ws.prevNode[n]
+			}
+			if cap(out) < cnt {
+				out = make([]int32, cnt)
+			}
+			out = out[:cnt]
+			n = cur.node
+			for i := cnt - 1; i >= 0; i-- {
+				out[i] = ws.prevEdge[n]
+				n = ws.prevNode[n]
+			}
+			c.paths[ri] = out
+			c.has[ri] = true
+			return
+		}
+		if cur.hops >= maxHops {
+			continue
+		}
+		for _, ei := range adj[cur.node] {
+			e := &c.edges[ei]
+			if chosenOnly {
+				// chosenAdj already contains only chosen edges.
+			} else if !e.viable && !e.chosen {
+				continue
+			}
+			next := e.a
+			if next == cur.node {
+				next = e.b
+			}
+			if ws.done[next] == st {
+				continue
+			}
+			// Edge cost, in the seed's exact accumulation order.
+			var cost float64
+			switch {
+			case e.chosen:
+				cost = c.cfg.ChosenLinkCost
+			case e.exist:
+				cost = c.cfg.ExistingLinkCost
+			default:
+				cost = c.cfg.NewLinkCost
+			}
+			if e.marginal {
+				cost += c.cfg.MarginalPenalty
+			}
+			if e.bitrate < rq.minBr {
+				cost += c.cfg.SlowBitratePenalty
+			}
+			if !e.chosen && !e.exist {
+				cost += e.penalty
+			}
+			nd := cur.dist + cost
+			if ws.seen[next] != st || nd < ws.dist[next] {
+				ws.seen[next] = st
+				ws.dist[next] = nd
+				ws.prevEdge[next] = ei
+				ws.prevNode[next] = cur.node
+				ws.heap.push(heapItem{dist: nd, node: next, hops: cur.hops + 1})
+			}
+		}
+	}
+	c.paths[ri] = out
+	c.has[ri] = false
+}
+
+// finalRoute runs the chosen-only Dijkstra for the final routing pass
+// and returns the node path (freshly allocated — it escapes into the
+// plan) or ok=false when unreachable.
+func (c *ctx) finalRoute(ri int32, ws *spScratch) ([]string, bool) {
+	rq := &c.reqs[ri]
+	if rq.srcIsDst {
+		return []string{c.nodes[rq.src]}, true
+	}
+	st := ws.begin()
+	ws.dist[rq.src] = 0
+	ws.seen[rq.src] = st
+	ws.heap.push(heapItem{dist: 0, node: rq.src, hops: 0})
+	maxHops := int32(c.cfg.MaxPathLen)
+	for len(ws.heap) > 0 {
+		cur := ws.heap.pop()
+		if ws.done[cur.node] == st {
+			continue
+		}
+		ws.done[cur.node] = st
+		if cur.node == rq.dst || (rq.dst < 0 && c.gw[cur.node]) {
+			n := cur.node
+			cnt := 0
+			for n != rq.src {
+				cnt++
+				n = ws.prevNode[n]
+			}
+			np := make([]string, cnt+1)
+			n = cur.node
+			for i := cnt; i >= 1; i-- {
+				np[i] = c.nodes[n]
+				n = ws.prevNode[n]
+			}
+			np[0] = c.nodes[rq.src]
+			return np, true
+		}
+		if cur.hops >= maxHops {
+			continue
+		}
+		for _, ei := range c.chosenAdj[cur.node] {
+			e := &c.edges[ei]
+			next := e.a
+			if next == cur.node {
+				next = e.b
+			}
+			if ws.done[next] == st {
+				continue
+			}
+			var cost float64
+			switch {
+			case e.chosen:
+				cost = c.cfg.ChosenLinkCost
+			case e.exist:
+				cost = c.cfg.ExistingLinkCost
+			default:
+				cost = c.cfg.NewLinkCost
+			}
+			if e.marginal {
+				cost += c.cfg.MarginalPenalty
+			}
+			if e.bitrate < rq.minBr {
+				cost += c.cfg.SlowBitratePenalty
+			}
+			if !e.chosen && !e.exist {
+				cost += e.penalty
+			}
+			nd := cur.dist + cost
+			if ws.seen[next] != st || nd < ws.dist[next] {
+				ws.seen[next] = st
+				ws.dist[next] = nd
+				ws.prevEdge[next] = ei
+				ws.prevNode[next] = cur.node
+				ws.heap.push(heapItem{dist: nd, node: next, hops: cur.hops + 1})
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,573 @@
+package solver
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"minkowski/internal/linkeval"
+	"minkowski/internal/rf"
+)
+
+// This file is the optimized solve engine behind Solve/SolveWarm. It
+// executes the same Appendix B iterative greedy as SolveReference —
+// the retained seed implementation in reference.go — but over index
+// arrays instead of string-keyed maps, with scratch reuse across
+// cycles, per-request Dijkstra batches fanned out over a worker pool
+// with a deterministic index-slot merge, and (optionally) warm-state
+// path reuse from the previous cycle (warm.go). Output plans are
+// byte-identical to SolveReference at any worker count; DESIGN.md §10
+// gives the argument, the equivalence property tests enforce it.
+
+// edge is the engine's mutable view of one candidate.
+type edge struct {
+	rep      *linkeval.Report
+	a, b     int32 // node indices
+	viable   bool
+	chosen   bool
+	exist    bool
+	marginal bool
+	chanID   int // assigned channel when chosen
+	bitrate  float64
+	penalty  float64
+}
+
+// reqView is a request resolved against the node table.
+type reqView struct {
+	src, dst int32 // node indices; dst < 0 means "any gateway"
+	srcIsDst bool
+	minBr    float64
+	util     float64 // per-path-edge utility contribution, max(minBr, 1)
+}
+
+// ctx is the engine's per-solve state. Every slice is scratch owned
+// by the Solver and reused across cycles; reset() rebuilds it from an
+// Input without reallocating on the steady state.
+type ctx struct {
+	cfg       Config
+	in        *Input
+	nodes     []string // node index -> ID
+	nodeOf    map[string]int32
+	gw        []bool
+	edges     []edge
+	adj       [][]int32 // node -> candidate edge indexes, edge order
+	chosenAdj [][]int32 // final-phase view: chosen edges only
+	chanMask  []uint16  // per node: bit k = channels[k] in use
+	channels  []rf.Channel
+
+	reqs     []reqView
+	util     []float64
+	paths    [][]int32 // per request: current path (edge indexes)
+	has      []bool    // per request: path found
+	nilKnown []bool    // per request: proven unreachable this solve
+	reused   []bool    // per request: initial path reused from warm
+	popped   [][]string
+	broken   []int32
+	initTodo []int32
+	routeNds [][]string
+	routeOK  []bool
+	degree   []int32
+	nodeCls  []uint8 // redundancy classification: 1 balloon, 2 ground
+
+	workers []spScratch
+}
+
+func (c *ctx) internNode(id string) int32 {
+	if i, ok := c.nodeOf[id]; ok {
+		return i
+	}
+	i := int32(len(c.nodes))
+	c.nodes = append(c.nodes, id)
+	c.nodeOf[id] = i
+	return i
+}
+
+// reset rebuilds the ctx for one solve.
+func (c *ctx) reset(cfg Config, in *Input, workers int) {
+	c.cfg = cfg
+	c.in = in
+	c.nodes = c.nodes[:0]
+	if c.nodeOf == nil {
+		c.nodeOf = make(map[string]int32, 256)
+	} else {
+		clear(c.nodeOf)
+	}
+	c.edges = c.edges[:0]
+	if c.channels == nil {
+		c.channels = rf.EBandChannels()
+	}
+	for _, rep := range in.Candidates {
+		na, nb := rep.XA.Node.ID, rep.XB.Node.ID
+		if in.Drained[na] || in.Drained[nb] {
+			continue
+		}
+		e := edge{
+			rep:      rep,
+			a:        c.internNode(na),
+			b:        c.internNode(nb),
+			viable:   true,
+			exist:    in.Existing[rep.ID],
+			marginal: rep.Class == rf.Marginal,
+			bitrate:  rep.Budget.BitrateBps,
+			penalty:  in.Penalties[rep.ID],
+		}
+		c.edges = append(c.edges, e)
+	}
+	for _, g := range in.Gateways {
+		c.internNode(g)
+	}
+	for _, r := range in.Requests {
+		c.internNode(r.Src)
+		if r.Dst != "" {
+			c.internNode(r.Dst)
+		}
+	}
+	nV := len(c.nodes)
+	c.gw = growBool(c.gw, nV)
+	for _, g := range in.Gateways {
+		c.gw[c.nodeOf[g]] = true
+	}
+	c.adj = growRows(c.adj, nV)
+	c.chosenAdj = growRows(c.chosenAdj, nV)
+	for i := range c.edges {
+		e := &c.edges[i]
+		c.adj[e.a] = append(c.adj[e.a], int32(i))
+		c.adj[e.b] = append(c.adj[e.b], int32(i))
+	}
+	c.chanMask = growU16(c.chanMask, nV)
+	c.degree = growI32(c.degree, nV)
+	c.nodeCls = growU8(c.nodeCls, nV)
+
+	nR := len(in.Requests)
+	c.reqs = growReq(c.reqs, nR)
+	for i, r := range in.Requests {
+		rq := &c.reqs[i]
+		rq.src = c.nodeOf[r.Src]
+		rq.dst = -1
+		if r.Dst != "" {
+			rq.dst = c.nodeOf[r.Dst]
+			rq.srcIsDst = rq.src == rq.dst
+		} else {
+			rq.srcIsDst = c.gw[rq.src]
+		}
+		rq.minBr = r.MinBitrateBps
+		rq.util = math.Max(r.MinBitrateBps, 1)
+	}
+	c.paths = growPaths(c.paths, nR)
+	c.has = growBool(c.has, nR)
+	c.nilKnown = growBool(c.nilKnown, nR)
+	c.reused = growBool(c.reused, nR)
+	c.popped = growStrRows(c.popped, nR)
+	c.routeNds = growStrRows(c.routeNds, nR)
+	c.routeOK = growBool(c.routeOK, nR)
+	c.util = growF64(c.util, len(c.edges))
+
+	if len(c.workers) < workers {
+		ws := make([]spScratch, workers)
+		copy(ws, c.workers)
+		c.workers = ws
+	}
+	for i := 0; i < workers; i++ {
+		c.workers[i].ensure(nV)
+	}
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growU16(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growReq(s []reqView, n int) []reqView {
+	if cap(s) < n {
+		return make([]reqView, n)
+	}
+	return s[:n]
+}
+
+func growRows(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		ns := make([][]int32, n)
+		copy(ns, s[:min(len(s), n)])
+		s = ns
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func growPaths(s [][]int32, n int) [][]int32 {
+	if cap(s) < n {
+		ns := make([][]int32, n)
+		copy(ns, s[:min(len(s), n)])
+		s = ns
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
+
+func growStrRows(s [][]string, n int) [][]string {
+	if cap(s) < n {
+		ns := make([][]string, n)
+		copy(ns, s[:min(len(s), n)])
+		s = ns
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// workerCount resolves the fan-out width for a batch of items.
+func (s *Solver) workerCount(items int) int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(0..n-1) across the worker pool in contiguous index
+// chunks. Every task writes only its own index slot, so the merge is
+// the slot layout itself: results are position-determined and
+// identical at any worker count. Falls back to a serial sweep for
+// single-worker configs and trivial batches.
+func (s *Solver) forEach(n int, fn func(i int, ws *spScratch)) {
+	if n == 0 {
+		return
+	}
+	w := s.workerCount(n)
+	if w <= 1 || n <= 2 {
+		ws := &s.c.workers[0]
+		for i := 0; i < n; i++ {
+			fn(i, ws)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for wk := 0; wk < w; wk++ {
+		lo := wk * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int, ws *spScratch) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i, ws)
+			}
+		}(lo, hi, &s.c.workers[wk])
+	}
+	wg.Wait()
+}
+
+// run is the optimized solve pipeline: initial routing (warm-reused
+// where provably safe, Dijkstra batches otherwise), the sequential
+// greedy commit loop with parallel re-route batches, the final
+// chosen-only routing pass, and the redundancy secondary objective.
+func (s *Solver) run(in *Input, w *Warm) *Plan {
+	c := &s.c
+	maxW := s.cfg.Workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	c.reset(s.cfg, in, maxW)
+	nR := len(in.Requests)
+	plan := &Plan{Routes: make(map[string][]string, nR)}
+
+	// --- Initial routing phase --------------------------------------
+	reusable := w.planReuse(c)
+	c.initTodo = c.initTodo[:0]
+	for i := 0; i < nR; i++ {
+		if !c.reused[i] {
+			c.initTodo = append(c.initTodo, int32(i))
+		}
+	}
+	record := w != nil
+	todo := c.initTodo
+	s.forEach(len(todo), func(k int, ws *spScratch) {
+		ri := todo[k]
+		c.shortestPath(ri, false, ws, record)
+		if record {
+			// Snapshot the popped-node IDs for warm bookkeeping.
+			p := c.popped[ri][:0]
+			for _, ni := range ws.popped {
+				p = append(p, c.nodes[ni])
+			}
+			c.popped[ri] = p
+		}
+	})
+	for i := 0; i < nR; i++ {
+		c.nilKnown[i] = !c.has[i]
+	}
+	if w != nil {
+		w.record(c, reusable)
+	}
+
+	// --- Greedy commit loop (sequential, seed-identical) ------------
+	for {
+		util := c.util
+		for i := range util {
+			util[i] = 0
+		}
+		for ri := range c.reqs {
+			uw := c.reqs[ri].util
+			for _, ei := range c.paths[ri] {
+				if !c.edges[ei].chosen {
+					util[ei] += uw
+				}
+			}
+		}
+		best, bestU := int32(-1), 0.0
+		for i := range c.edges {
+			e := &c.edges[i]
+			if !e.viable || e.chosen || util[i] <= 0 {
+				continue
+			}
+			u := util[i]
+			if e.exist {
+				u *= 1 + c.cfg.HysteresisBonus
+			}
+			if u > bestU {
+				best, bestU = int32(i), u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if !c.choose(plan, best, false) {
+			c.edges[best].viable = false
+		}
+		// Collect requests whose path lost an edge; re-route them as a
+		// batch. Requests already proven unreachable stay unreachable
+		// (the usable edge set only shrinks), so their re-run is
+		// skipped — the reference recomputes them to the same nil.
+		c.broken = c.broken[:0]
+		for ri := range c.reqs {
+			if c.nilKnown[ri] {
+				continue
+			}
+			for _, ei := range c.paths[ri] {
+				e := &c.edges[ei]
+				if !e.viable && !e.chosen {
+					c.broken = append(c.broken, int32(ri))
+					break
+				}
+			}
+		}
+		brk := c.broken
+		s.forEach(len(brk), func(k int, ws *spScratch) {
+			c.shortestPath(brk[k], false, ws, false)
+		})
+		for _, ri := range brk {
+			if !c.has[ri] {
+				c.nilKnown[ri] = true
+				c.paths[ri] = c.paths[ri][:0]
+			}
+		}
+	}
+
+	// --- Final routing strictly over the chosen topology ------------
+	for i := range c.chosenAdj {
+		c.chosenAdj[i] = c.chosenAdj[i][:0]
+	}
+	for i := range c.edges {
+		e := &c.edges[i]
+		if e.chosen {
+			c.chosenAdj[e.a] = append(c.chosenAdj[e.a], int32(i))
+			c.chosenAdj[e.b] = append(c.chosenAdj[e.b], int32(i))
+		}
+	}
+	s.forEach(nR, func(ri int, ws *spScratch) {
+		if c.nilKnown[ri] {
+			c.routeOK[ri] = false
+			return
+		}
+		c.routeNds[ri], c.routeOK[ri] = c.finalRoute(int32(ri), ws)
+	})
+	for ri, r := range in.Requests {
+		if !c.routeOK[ri] {
+			plan.Unsatisfied = append(plan.Unsatisfied, r)
+			continue
+		}
+		plan.Routes[r.ID] = c.routeNds[ri]
+		plan.Utility += r.MinBitrateBps
+	}
+
+	c.addRedundancy(plan)
+	sort.Slice(plan.Links, func(i, j int) bool {
+		a, b := plan.Links[i].Report.ID, plan.Links[j].Report.ID
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	return plan
+}
+
+// choose commits an edge: channel assignment + conflict elimination.
+func (c *ctx) choose(plan *Plan, idx int32, redundant bool) bool {
+	e := &c.edges[idx]
+	ch, chBit, ok := c.pickChannel(e)
+	if !ok {
+		return false
+	}
+	e.chosen = true
+	e.chanID = ch.ID
+	c.chanMask[e.a] |= chBit
+	c.chanMask[e.b] |= chBit
+	plan.Links = append(plan.Links, Chosen{
+		Report: e.rep, Channel: ch,
+		Redundant:        redundant,
+		KeptFromPrevious: e.exist,
+	})
+	// One pairing per transceiver.
+	for _, n := range [2]int32{e.a, e.b} {
+		for _, oi := range c.adj[n] {
+			o := &c.edges[oi]
+			if o.chosen || !o.viable {
+				continue
+			}
+			if o.rep.XA == e.rep.XA || o.rep.XA == e.rep.XB ||
+				o.rep.XB == e.rep.XA || o.rep.XB == e.rep.XB {
+				o.viable = false
+			}
+		}
+	}
+	return true
+}
+
+// pickChannel returns the lowest channel unused at both endpoint
+// platforms, plus its bitmask bit.
+func (c *ctx) pickChannel(e *edge) (rf.Channel, uint16, bool) {
+	used := c.chanMask[e.a] | c.chanMask[e.b]
+	for k, ch := range c.channels {
+		if bit := uint16(1) << uint(k); used&bit == 0 {
+			return ch, bit, true
+		}
+	}
+	return rf.Channel{}, 0, false
+}
+
+// addRedundancy implements the secondary objective: task idle
+// transceivers with extra links until the Appendix A redundancy
+// target is reached. The scoring — including its float accumulation
+// order — is the seed's, verbatim.
+func (c *ctx) addRedundancy(plan *Plan) {
+	for i := range c.nodes {
+		c.degree[i] = 0
+		c.nodeCls[i] = 0
+	}
+	balloons, grounds := 0, 0
+	for i := range c.edges {
+		e := &c.edges[i]
+		for _, n := range [2]int32{e.a, e.b} {
+			if c.nodeCls[n] == 0 {
+				if c.gw[n] {
+					c.nodeCls[n] = 2
+					grounds++
+				} else {
+					c.nodeCls[n] = 1
+					balloons++
+				}
+			}
+		}
+		if e.chosen {
+			c.degree[e.a]++
+			c.degree[e.b]++
+		}
+	}
+	lmin, lmax := RedundancyBounds(balloons, grounds)
+	target := int(c.cfg.RedundancyTargetFrac * float64(lmax-lmin))
+	for added := 0; added < target; added++ {
+		best, bestScore := int32(-1), math.Inf(-1)
+		for i := range c.edges {
+			e := &c.edges[i]
+			if !e.viable || e.chosen {
+				continue
+			}
+			score := -float64(c.degree[e.a]+c.degree[e.b]) + e.rep.Budget.MarginDB/100
+			score -= e.penalty
+			if e.exist {
+				score += 3 * (1 + c.cfg.HysteresisBonus)
+			}
+			if e.marginal {
+				score -= 10
+			}
+			if score > bestScore {
+				best, bestScore = int32(i), score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if !c.choose(plan, best, true) {
+			c.edges[best].viable = false
+			added--
+			continue
+		}
+		e := &c.edges[best]
+		c.degree[e.a]++
+		c.degree[e.b]++
+	}
+}

@@ -1,0 +1,317 @@
+package solver
+
+// Equivalence property tests: the optimized engine (Solve/SolveWarm,
+// at any worker count, warm or cold) must produce byte-identical
+// plans to SolveReference — the retained seed implementation — on
+// evolving multi-cycle scenarios with drifting positions, churning
+// existing-link sets, penalties, and drains. Run in CI at
+// GOMAXPROCS=1,2,8 under -race.
+
+import (
+	"fmt"
+	"testing"
+
+	"minkowski/internal/flight"
+	"minkowski/internal/geo"
+	"minkowski/internal/linkeval"
+	"minkowski/internal/platform"
+	"minkowski/internal/radio"
+)
+
+// eqWorld is a drifting fleet scenario: a grid of balloons over a few
+// gateways, with a deterministic LCG nudging positions each cycle so
+// consecutive candidate graphs overlap heavily but never exactly (the
+// production regime warm solves exploit).
+type eqWorld struct {
+	nodes    []*platform.Node
+	balloons []*flight.Balloon
+	eval     *linkeval.Evaluator
+	rng      uint64
+	cycle    int
+}
+
+func (w *eqWorld) rand() float64 { // xorshift64*, deterministic
+	w.rng ^= w.rng >> 12
+	w.rng ^= w.rng << 25
+	w.rng ^= w.rng >> 27
+	return float64(w.rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+func newEqWorld(nBalloons int, seed uint64) *eqWorld {
+	w := &eqWorld{rng: seed | 1}
+	gws := []struct {
+		id       string
+		lat, lon float64
+	}{
+		{"gs-alpha", -1.3, 36.6},
+		{"gs-beta", -0.4, 37.4},
+	}
+	for _, g := range gws {
+		w.nodes = append(w.nodes, platform.NewGroundStation(g.id, geo.LLADeg(g.lat, g.lon, 1600), nil))
+	}
+	side := 1
+	for side*side < nBalloons {
+		side++
+	}
+	for i := 0; i < nBalloons; i++ {
+		id := fmt.Sprintf("hbal-%03d", i)
+		lat := -1.2 + 1.1*float64(i/side)
+		lon := 36.5 + 1.1*float64(i%side)
+		b := &flight.Balloon{ID: id, Pos: geo.LLADeg(lat, lon, 18000)}
+		n := platform.NewBalloonNode(b)
+		n.Power.CommsOn = true
+		w.nodes = append(w.nodes, n)
+		w.balloons = append(w.balloons, b)
+	}
+	w.eval = linkeval.New(linkeval.DefaultConfig(), clearSky{}, nil)
+	return w
+}
+
+func (w *eqWorld) gateways() []string { return []string{"gs-alpha", "gs-beta"} }
+
+// drift nudges every balloon a few km — small enough that most links
+// survive, large enough that some appear/vanish and bitrates change.
+func (w *eqWorld) drift() {
+	for _, b := range w.balloons {
+		b.Pos.Lat += geo.Deg(0.05 * (w.rand() - 0.5))
+		b.Pos.Lon += geo.Deg(0.05 * (w.rand() - 0.5))
+	}
+	w.cycle++
+}
+
+// input builds one solve cycle's Input. existing carries the previous
+// plan's links (hysteresis); every few cycles a drain or a penalty
+// appears to exercise invalidation paths.
+func (w *eqWorld) input(existing map[radio.LinkID]bool) Input {
+	var xs []*platform.Transceiver
+	for _, n := range w.nodes {
+		xs = append(xs, n.Xcvrs...)
+	}
+	in := Input{
+		Candidates: w.eval.CandidateGraph(xs, 0),
+		Existing:   existing,
+		Gateways:   w.gateways(),
+	}
+	for _, n := range w.nodes {
+		if n.Kind == platform.KindBalloon {
+			in.Requests = append(in.Requests, Request{
+				ID: "backhaul/" + n.ID, Src: n.ID, MinBitrateBps: 50e6,
+			})
+		}
+	}
+	if w.cycle%4 == 3 && len(w.balloons) > 2 {
+		in.Drained = map[string]bool{w.balloons[1].ID: true}
+	}
+	if w.cycle%3 == 2 && len(in.Candidates) > 0 {
+		in.Penalties = map[radio.LinkID]float64{
+			in.Candidates[len(in.Candidates)/2].ID: 1.7,
+		}
+	}
+	return in
+}
+
+func existingFrom(p *Plan) map[radio.LinkID]bool {
+	out := make(map[radio.LinkID]bool, len(p.Links))
+	for _, c := range p.Links {
+		out[c.Report.ID] = true
+	}
+	return out
+}
+
+// TestEngineMatchesReferenceCold: cold Solve == SolveReference on
+// every cycle of a drifting scenario, at several worker counts.
+func TestEngineMatchesReferenceCold(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			w := newEqWorld(9, 0xC0FFEE)
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			s := New(cfg)
+			ref := New(DefaultConfig())
+			existing := map[radio.LinkID]bool{}
+			for cyc := 0; cyc < 6; cyc++ {
+				in := w.input(existing)
+				want := ref.SolveReference(in).Fingerprint()
+				got := s.Solve(in).Fingerprint()
+				if got != want {
+					t.Fatalf("cycle %d: cold engine diverged from reference\nengine:\n%s\nreference:\n%s", cyc, got, want)
+				}
+				existing = existingFrom(ref.SolveReference(in))
+				w.drift()
+			}
+		})
+	}
+}
+
+// TestWarmMatchesReferenceAcrossCycles: a warm chain (state carried
+// cycle to cycle) stays byte-identical to per-cycle cold reference
+// solves, and actually reuses paths (non-vacuous).
+func TestWarmMatchesReferenceAcrossCycles(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			w := newEqWorld(9, 0xBEEF)
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			s := New(cfg)
+			ref := New(DefaultConfig())
+			warm := NewWarm()
+			existing := map[radio.LinkID]bool{}
+			for cyc := 0; cyc < 8; cyc++ {
+				in := w.input(existing)
+				want := ref.SolveReference(in).Fingerprint()
+				got := s.SolveWarm(in, warm).Fingerprint()
+				if got != want {
+					t.Fatalf("cycle %d: warm solve diverged from reference\nwarm:\n%s\nreference:\n%s", cyc, got, want)
+				}
+				existing = existingFrom(ref.SolveReference(in))
+				w.drift()
+			}
+			st := warm.Stats()
+			if st.Cycles != 8 || st.ColdStarts < 1 {
+				t.Fatalf("warm stats off: %+v", st)
+			}
+			if st.PathsReused == 0 {
+				t.Fatalf("vacuous test: warm chain never reused a path: %+v", st)
+			}
+		})
+	}
+}
+
+// TestWarmIdenticalInputsFullReuse: re-solving the exact same input
+// must reuse every request's path and still match the reference.
+func TestWarmIdenticalInputsFullReuse(t *testing.T) {
+	w := newEqWorld(6, 0x5EED)
+	s := New(DefaultConfig())
+	ref := New(DefaultConfig())
+	warm := NewWarm()
+	in := w.input(map[radio.LinkID]bool{})
+	want := ref.SolveReference(in).Fingerprint()
+	if got := s.SolveWarm(in, warm).Fingerprint(); got != want {
+		t.Fatalf("first warm solve diverged")
+	}
+	if got := s.SolveWarm(in, warm).Fingerprint(); got != want {
+		t.Fatalf("second warm solve diverged")
+	}
+	st := warm.Stats()
+	if st.LastRecomputed != 0 || st.LastReused != len(in.Requests) {
+		t.Fatalf("identical input should reuse all paths: %+v", st)
+	}
+	if st.LastDirtyEdges != 0 {
+		t.Fatalf("identical input should dirty no edges: %+v", st)
+	}
+}
+
+// TestWarmInvalidatesOnPolicyAndGatewayChange: warm state must fall
+// back to a recorded cold start when the solve policy or gateway set
+// changes, and stay correct.
+func TestWarmInvalidatesOnPolicyAndGatewayChange(t *testing.T) {
+	w := newEqWorld(6, 0xFACE)
+	warm := NewWarm()
+	in := w.input(map[radio.LinkID]bool{})
+
+	s := New(DefaultConfig())
+	s.SolveWarm(in, warm)
+	cold0 := warm.Stats().ColdStarts
+
+	// Policy change: new Solver with different hysteresis.
+	cfg2 := DefaultConfig()
+	cfg2.HysteresisBonus = 0.25
+	s2 := New(cfg2)
+	ref2 := New(cfg2)
+	if got, want := s2.SolveWarm(in, warm).Fingerprint(), ref2.SolveReference(in).Fingerprint(); got != want {
+		t.Fatalf("post-policy-change warm solve diverged")
+	}
+	if warm.Stats().ColdStarts != cold0+1 {
+		t.Fatalf("policy change should force a cold start: %+v", warm.Stats())
+	}
+
+	// Gateway change.
+	in2 := in
+	in2.Gateways = []string{"gs-alpha"}
+	if got, want := s2.SolveWarm(in2, warm).Fingerprint(), ref2.SolveReference(in2).Fingerprint(); got != want {
+		t.Fatalf("post-gateway-change warm solve diverged")
+	}
+	if warm.Stats().ColdStarts != cold0+2 {
+		t.Fatalf("gateway change should force a cold start: %+v", warm.Stats())
+	}
+
+	// Worker-count change must NOT invalidate (normalized out).
+	cfg3 := cfg2
+	cfg3.Workers = 7
+	s3 := New(cfg3)
+	if got, want := s3.SolveWarm(in2, warm).Fingerprint(), ref2.SolveReference(in2).Fingerprint(); got != want {
+		t.Fatalf("worker-count change diverged")
+	}
+	if warm.Stats().ColdStarts != cold0+2 {
+		t.Fatalf("worker-count change must not force a cold start: %+v", warm.Stats())
+	}
+}
+
+// TestWarmDuplicateRequestIDsFallCold: duplicate request IDs are out
+// of the warm contract — the solve must fall cold (and never reuse),
+// not corrupt state.
+func TestWarmDuplicateRequestIDsFallCold(t *testing.T) {
+	w := newEqWorld(4, 0xD00D)
+	s := New(DefaultConfig())
+	warm := NewWarm()
+	in := w.input(map[radio.LinkID]bool{})
+	in.Requests = append(in.Requests, in.Requests[0]) // duplicate ID
+	s.SolveWarm(in, warm)
+	s.SolveWarm(in, warm)
+	st := warm.Stats()
+	if st.PathsReused != 0 || st.ColdStarts != 2 {
+		t.Fatalf("duplicate request IDs must disable reuse: %+v", st)
+	}
+	if warm.Ready() {
+		t.Fatalf("warm state must not be recorded from a non-recordable cycle")
+	}
+}
+
+// TestWarmCloneIsolation: a cloned warm state (the replication-stream
+// snapshot) must keep working independently of the original's
+// continued mutation.
+func TestWarmCloneIsolation(t *testing.T) {
+	w := newEqWorld(6, 0xAB1E)
+	s := New(DefaultConfig())
+	ref := New(DefaultConfig())
+	warm := NewWarm()
+	existing := map[radio.LinkID]bool{}
+	in := w.input(existing)
+	s.SolveWarm(in, warm)
+	snap := warm.Clone()
+
+	// The original keeps solving across drifts...
+	for i := 0; i < 3; i++ {
+		w.drift()
+		in = w.input(existing)
+		s.SolveWarm(in, warm)
+	}
+	// ...then a "promoted" solver adopts the old snapshot and must
+	// still match the reference on the newest input.
+	s2 := New(DefaultConfig())
+	if got, want := s2.SolveWarm(in, snap).Fingerprint(), ref.SolveReference(in).Fingerprint(); got != want {
+		t.Fatalf("adopted warm snapshot diverged from reference")
+	}
+}
+
+// TestSolveAndReferenceMatchLegacyScenarios reruns the seed test
+// worlds through both implementations (belt and braces next to the
+// drifting-scenario property tests).
+func TestSolveAndReferenceMatchLegacyScenarios(t *testing.T) {
+	nodes, cands := world(4)
+	in := Input{
+		Candidates: cands,
+		Requests:   backhaulRequests(nodes),
+		Gateways:   []string{"gs-0"},
+	}
+	s := New(DefaultConfig())
+	if got, want := s.Solve(in).Fingerprint(), s.SolveReference(in).Fingerprint(); got != want {
+		t.Fatalf("legacy line-world diverged:\n%s\nvs\n%s", got, want)
+	}
+	// Explicit destination + drain.
+	in.Requests[0].Dst = nodes[2].ID
+	in.Drained = map[string]bool{nodes[3].ID: true}
+	if got, want := s.Solve(in).Fingerprint(), s.SolveReference(in).Fingerprint(); got != want {
+		t.Fatalf("legacy drained-world diverged")
+	}
+}

@@ -22,12 +22,21 @@
 // graph, repeatedly commit the highest-utility link, and mark
 // incompatible links inviable until no viable link carries positive
 // utility.
+//
+// Two implementations coexist: SolveReference (reference.go) is the
+// seed's literal map-based single-threaded algorithm, kept as ground
+// truth; Solve/SolveWarm run the optimized engine (engine.go,
+// dijkstra.go, warm.go) — index arrays, reusable scratch, a concrete
+// frontier heap, parallel per-request Dijkstra batches, and optional
+// warm-started incremental re-solve — whose output is byte-identical
+// to the reference at any worker count (DESIGN.md §10).
 package solver
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"minkowski/internal/linkeval"
 	"minkowski/internal/radio"
@@ -37,7 +46,9 @@ import (
 // Request is one connectivity request c_{x→y}: the LTE stack asking
 // for backhaul from a balloon to the ground segment.
 type Request struct {
-	// ID names the request ("backhaul/hbal-001").
+	// ID names the request ("backhaul/hbal-001"). IDs must be unique
+	// within one Input; the warm-start path falls back to a cold solve
+	// when they are not.
 	ID string
 	// Src is the requesting node.
 	Src string
@@ -116,6 +127,53 @@ func (p *Plan) RedundantCount() int {
 	return n
 }
 
+// Fingerprint renders every output-relevant field of the plan into a
+// canonical string, so equality of fingerprints is byte-identity of
+// plans. Used by the equivalence tests and the end-to-end determinism
+// checks.
+func (p *Plan) Fingerprint() string {
+	var b strings.Builder
+	for _, c := range p.Links {
+		b.WriteString("L ")
+		b.WriteString(c.Report.ID.A)
+		b.WriteByte('|')
+		b.WriteString(c.Report.ID.B)
+		b.WriteString(" ch=")
+		b.WriteString(strconv.Itoa(c.Channel.ID))
+		if c.Redundant {
+			b.WriteString(" red")
+		}
+		if c.KeptFromPrevious {
+			b.WriteString(" kept")
+		}
+		b.WriteByte('\n')
+	}
+	ids := make([]string, 0, len(p.Routes))
+	for id := range p.Routes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		b.WriteString("R ")
+		b.WriteString(id)
+		b.WriteString(" =")
+		for _, n := range p.Routes[id] {
+			b.WriteByte(' ')
+			b.WriteString(n)
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Unsatisfied {
+		b.WriteString("U ")
+		b.WriteString(r.ID)
+		b.WriteByte('\n')
+	}
+	b.WriteString("util=")
+	b.WriteString(strconv.FormatUint(math.Float64bits(p.Utility), 16))
+	b.WriteByte('\n')
+	return b.String()
+}
+
 // Config tunes the solver.
 type Config struct {
 	// HysteresisBonus multiplies the utility of existing links
@@ -137,6 +195,10 @@ type Config struct {
 	RedundancyTargetFrac float64
 	// MaxPathLen bounds route length in hops.
 	MaxPathLen int
+	// Workers caps the engine's per-request Dijkstra fan-out
+	// (0 = GOMAXPROCS). Plans are byte-identical at every value —
+	// Workers is a throughput knob, never a semantic one.
+	Workers int
 }
 
 // DefaultConfig returns the production policy.
@@ -153,369 +215,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// Solver runs solve cycles.
+// Solver runs solve cycles. It owns the engine's scratch arenas, so a
+// Solver is NOT safe for concurrent use — one Solver per control
+// loop. (The parallelism inside a solve is the engine's own worker
+// fan-out, governed by Config.Workers.)
 type Solver struct {
 	cfg Config
+	c   ctx
 }
 
 // New creates a solver.
 func New(cfg Config) *Solver { return &Solver{cfg: cfg} }
 
-// edge is the internal mutable view of a candidate.
-type edge struct {
-	rep    *linkeval.Report
-	a, b   string
-	viable bool
-	chosen bool
-	exist  bool
-	chanID int // assigned channel when chosen
-}
+// Solve runs one cold cycle with the optimized engine. The plan is
+// byte-identical to SolveReference(in).
+//
+//minkowski:hotpath
+func (s *Solver) Solve(in Input) *Plan { return s.run(&in, nil) }
 
-// ctx is per-solve mutable state.
-type ctx struct {
-	cfg      Config
-	in       Input
-	edges    []*edge
-	adj      map[string][]int // node -> candidate edge indexes
-	chanUsed map[string]map[int]bool
-	channels []rf.Channel
-	gwSet    map[string]bool
-}
-
-// Solve runs one cycle.
-func (s *Solver) Solve(in Input) *Plan {
-	c := &ctx{
-		cfg: s.cfg, in: in,
-		adj:      map[string][]int{},
-		chanUsed: map[string]map[int]bool{},
-		channels: rf.EBandChannels(),
-		gwSet:    map[string]bool{},
-	}
-	for _, g := range in.Gateways {
-		c.gwSet[g] = true
-	}
-	for _, rep := range in.Candidates {
-		a, b := rep.XA.Node.ID, rep.XB.Node.ID
-		if in.Drained[a] || in.Drained[b] {
-			continue
-		}
-		c.edges = append(c.edges, &edge{rep: rep, a: a, b: b, viable: true, exist: in.Existing[rep.ID]})
-	}
-	for i, e := range c.edges {
-		c.adj[e.a] = append(c.adj[e.a], i)
-		c.adj[e.b] = append(c.adj[e.b], i)
-	}
-	plan := &Plan{Routes: map[string][]string{}}
-
-	// Current path per request over viable ∪ chosen edges.
-	paths := make(map[string][]int)
-	for _, r := range in.Requests {
-		paths[r.ID], _ = c.shortestPath(r, false)
-	}
-	// Greedy loop.
-	for {
-		util := make([]float64, len(c.edges))
-		for _, r := range in.Requests {
-			for _, ei := range paths[r.ID] {
-				if !c.edges[ei].chosen {
-					util[ei] += math.Max(r.MinBitrateBps, 1)
-				}
-			}
-		}
-		best, bestU := -1, 0.0
-		for i, e := range c.edges {
-			if !e.viable || e.chosen || util[i] <= 0 {
-				continue
-			}
-			u := util[i]
-			if e.exist {
-				u *= 1 + c.cfg.HysteresisBonus
-			}
-			if u > bestU {
-				best, bestU = i, u
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if !c.choose(plan, best, false) {
-			c.edges[best].viable = false
-		}
-		// Re-route requests whose path lost an edge.
-		for _, r := range in.Requests {
-			broken := false
-			for _, ei := range paths[r.ID] {
-				e := c.edges[ei]
-				if !e.viable && !e.chosen {
-					broken = true
-					break
-				}
-			}
-			if broken || paths[r.ID] == nil {
-				paths[r.ID], _ = c.shortestPath(r, false)
-			}
-		}
-	}
-	// Final routing strictly over the chosen topology.
-	for _, r := range in.Requests {
-		edgePath, nodes := c.shortestPath(r, true)
-		if edgePath == nil {
-			plan.Unsatisfied = append(plan.Unsatisfied, r)
-			continue
-		}
-		plan.Routes[r.ID] = nodes
-		plan.Utility += r.MinBitrateBps
-	}
-	c.addRedundancy(plan)
-	sort.Slice(plan.Links, func(i, j int) bool {
-		a, b := plan.Links[i].Report.ID, plan.Links[j].Report.ID
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		return a.B < b.B
-	})
-	return plan
-}
-
-// choose commits an edge: channel assignment + conflict elimination.
-func (c *ctx) choose(plan *Plan, idx int, redundant bool) bool {
-	e := c.edges[idx]
-	ch, ok := c.pickChannel(e)
-	if !ok {
-		return false
-	}
-	e.chosen = true
-	e.chanID = ch.ID
-	c.markChannel(e.a, ch.ID)
-	c.markChannel(e.b, ch.ID)
-	plan.Links = append(plan.Links, Chosen{
-		Report: e.rep, Channel: ch,
-		Redundant:        redundant,
-		KeptFromPrevious: e.exist,
-	})
-	// One pairing per transceiver.
-	for _, lst := range [][]int{c.adj[e.a], c.adj[e.b]} {
-		for _, oi := range lst {
-			o := c.edges[oi]
-			if o.chosen || !o.viable {
-				continue
-			}
-			if o.rep.XA == e.rep.XA || o.rep.XA == e.rep.XB ||
-				o.rep.XB == e.rep.XA || o.rep.XB == e.rep.XB {
-				o.viable = false
-			}
-		}
-	}
-	return true
-}
-
-// pickChannel returns the lowest channel unused at both endpoint
-// platforms.
-func (c *ctx) pickChannel(e *edge) (rf.Channel, bool) {
-	for _, ch := range c.channels {
-		if !c.chanUsed[e.a][ch.ID] && !c.chanUsed[e.b][ch.ID] {
-			return ch, true
-		}
-	}
-	return rf.Channel{}, false
-}
-
-func (c *ctx) markChannel(node string, chID int) {
-	m := c.chanUsed[node]
-	if m == nil {
-		m = map[int]bool{}
-		c.chanUsed[node] = m
-	}
-	m[chID] = true
-}
-
-// edgeCost returns the routing cost of an edge for utility
-// estimation.
-func (c *ctx) edgeCost(e *edge, r Request) float64 {
-	var cost float64
-	switch {
-	case e.chosen:
-		cost = c.cfg.ChosenLinkCost
-	case e.exist:
-		cost = c.cfg.ExistingLinkCost
-	default:
-		cost = c.cfg.NewLinkCost
-	}
-	if e.rep.Class == rf.Marginal {
-		cost += c.cfg.MarginalPenalty
-	}
-	if e.rep.Budget.BitrateBps < r.MinBitrateBps {
-		cost += c.cfg.SlowBitratePenalty
-	}
-	if !e.chosen && !e.exist {
-		cost += c.in.Penalties[e.rep.ID]
-	}
-	return cost
-}
-
-// pqItem is a Dijkstra frontier entry.
-type pqItem struct {
-	node string
-	dist float64
-	hops int
-}
-
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
-// shortestPath routes a request over viable (∪ chosen) edges, or
-// chosen-only when chosenOnly. Returns the edge-index path and node
-// path, or nil when unreachable.
-func (c *ctx) shortestPath(r Request, chosenOnly bool) ([]int, []string) {
-	isDst := func(n string) bool {
-		if r.Dst != "" {
-			return n == r.Dst
-		}
-		return c.gwSet[n]
-	}
-	if isDst(r.Src) {
-		return []int{}, []string{r.Src}
-	}
-	dist := map[string]float64{r.Src: 0}
-	hops := map[string]int{r.Src: 0}
-	prevEdge := map[string]int{}
-	prevNode := map[string]string{}
-	done := map[string]bool{}
-	frontier := &pq{{node: r.Src}}
-	for frontier.Len() > 0 {
-		cur := heap.Pop(frontier).(pqItem)
-		if done[cur.node] {
-			continue
-		}
-		done[cur.node] = true
-		if isDst(cur.node) {
-			// Reconstruct.
-			var epath []int
-			var npath []string
-			n := cur.node
-			for n != r.Src {
-				epath = append(epath, prevEdge[n])
-				npath = append(npath, n)
-				n = prevNode[n]
-			}
-			npath = append(npath, r.Src)
-			// Reverse.
-			for i, j := 0, len(epath)-1; i < j; i, j = i+1, j-1 {
-				epath[i], epath[j] = epath[j], epath[i]
-			}
-			for i, j := 0, len(npath)-1; i < j; i, j = i+1, j-1 {
-				npath[i], npath[j] = npath[j], npath[i]
-			}
-			return epath, npath
-		}
-		if cur.hops >= c.cfg.MaxPathLen {
-			continue
-		}
-		for _, ei := range c.adj[cur.node] {
-			e := c.edges[ei]
-			if chosenOnly {
-				if !e.chosen {
-					continue
-				}
-			} else if !e.viable && !e.chosen {
-				continue
-			}
-			next := e.a
-			if next == cur.node {
-				next = e.b
-			}
-			if done[next] {
-				continue
-			}
-			nd := cur.dist + c.edgeCost(e, r)
-			if old, ok := dist[next]; !ok || nd < old {
-				dist[next] = nd
-				hops[next] = cur.hops + 1
-				prevEdge[next] = ei
-				prevNode[next] = cur.node
-				heap.Push(frontier, pqItem{node: next, dist: nd, hops: cur.hops + 1})
-			}
-		}
-	}
-	return nil, nil
-}
-
-// addRedundancy implements the secondary objective: task idle
-// transceivers with extra links until the Appendix A redundancy
-// target is reached. Candidates that connect the least-connected
-// nodes with the best margins are preferred.
-func (c *ctx) addRedundancy(plan *Plan) {
-	// Degrees over chosen links.
-	degree := map[string]int{}
-	balloons := map[string]bool{}
-	grounds := map[string]bool{}
-	for _, e := range c.edges {
-		if c.gwSet[e.a] {
-			grounds[e.a] = true
-		} else {
-			balloons[e.a] = true
-		}
-		if c.gwSet[e.b] {
-			grounds[e.b] = true
-		} else {
-			balloons[e.b] = true
-		}
-		if e.chosen {
-			degree[e.a]++
-			degree[e.b]++
-		}
-	}
-	base := len(plan.Links)
-	lmin, lmax := RedundancyBounds(len(balloons), len(grounds))
-	target := int(c.cfg.RedundancyTargetFrac * float64(lmax-lmin))
-	for added := 0; added < target; added++ {
-		best, bestScore := -1, math.Inf(-1)
-		for i, e := range c.edges {
-			if !e.viable || e.chosen {
-				continue
-			}
-			// Prefer links touching poorly connected nodes; margin
-			// breaks ties; marginal class penalized; and — crucially
-			// for topology stability — already-installed links get a
-			// strong retention bonus (redundant links churned badly
-			// before this hysteresis existed).
-			score := -float64(degree[e.a]+degree[e.b]) + e.rep.Budget.MarginDB/100
-			score -= c.in.Penalties[e.rep.ID]
-			if e.exist {
-				score += 3 * (1 + c.cfg.HysteresisBonus)
-			}
-			if e.rep.Class == rf.Marginal {
-				score -= 10
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if !c.choose(plan, best, true) {
-			c.edges[best].viable = false
-			added--
-			continue
-		}
-		e := c.edges[best]
-		degree[e.a]++
-		degree[e.b]++
-	}
-	_ = base
-}
+// SolveWarm runs one cycle with warm-start state: requests whose
+// previous-cycle shortest path is provably still the answer (see
+// Warm) skip the initial Dijkstra, and w is updated in place with
+// this cycle's state for the next call. A nil w degrades to Solve.
+// The plan is byte-identical to a cold solve of the same input.
+func (s *Solver) SolveWarm(in Input, w *Warm) *Plan { return s.run(&in, w) }
 
 // RedundancyBounds returns Appendix A's L_min and L_max for a
 // topology of B balloons (3 transceivers each) and G ground stations

@@ -1,0 +1,437 @@
+package solver
+
+import (
+	"maps"
+	"math"
+	"slices"
+	"sort"
+
+	"minkowski/internal/radio"
+)
+
+// Warm carries solver state across solve cycles so that SolveWarm can
+// skip the initial per-request Dijkstra for requests whose outcome is
+// provably unchanged. The soundness argument (DESIGN.md §10): the
+// engine's Dijkstra is a deterministic algorithm whose every step
+// reads only (a) the request, (b) the cost-relevant signature of
+// edges incident to nodes it has popped, and (c) the gateway set and
+// solver policy. Two runs therefore proceed step-identically until
+// one of them processes an edge whose signature changed — and an edge
+// is only processed once one of its endpoints is popped. So if no
+// added, removed, or cost-changed edge touches any node the previous
+// run popped, the new run pops the same nodes in the same order and
+// returns the byte-identical path (or the same unreachability). Warm
+// records each request's popped-node set and each edge's cost
+// signature to evaluate exactly that condition.
+//
+// A link budget's bitrate enters path cost only through the per-
+// request comparison `bitrate < MinBitrateBps`, so ambient bitrate
+// drift (every balloon moves every cycle) does not invalidate paths:
+// only a flip across a request's threshold marks the edge dirty for
+// the requests using that threshold.
+//
+// Channel assignment, hysteresis bookkeeping, the greedy commit loop,
+// and the redundancy pass are recomputed from scratch every cycle —
+// Warm never carries them, so there is nothing downstream to
+// re-validate beyond the initial paths.
+//
+// Warm state is invalidated wholesale (a recorded cold start) when
+// the solver policy or the gateway set changes, when the candidate
+// list is not strictly ID-sorted (the evaluator's ordering contract —
+// adjacency scan order must be stable across cycles for the
+// step-identity argument), or when request IDs collide.
+//
+// A Warm value belongs to one logical solve sequence; it is not safe
+// for concurrent use. Clone produces an independent deep copy for
+// replication streams.
+type Warm struct {
+	valid    bool
+	cfg      Config     // normalized: Workers zeroed (no output effect)
+	gateways []string   // sorted
+	sigList  []sigEntry // ID-sorted (the recorded candidate order)
+	reqIdx   map[string]int32
+	reqList  []reqRec
+	stats    WarmStats
+
+	// Scratch reused across cycles (not cloned).
+	baseDirty   map[string]bool
+	thresholds  []float64
+	threshDirty []map[string]bool
+	gwScratch   []string
+	reqSeen     map[string]bool
+}
+
+// sigEntry is one edge's cost-relevant signature from the previous
+// cycle. Endpoint node IDs are kept so removed edges can still mark
+// their endpoints dirty.
+type sigEntry struct {
+	id       radio.LinkID
+	na, nb   string
+	exist    bool
+	marginal bool
+	penalty  float64
+	bitrate  float64
+}
+
+// pathRec is one request's recorded initial-phase outcome.
+type pathRec struct {
+	ok     bool
+	links  []radio.LinkID
+	popped []string
+}
+
+type reqRec struct {
+	req  Request
+	path pathRec
+}
+
+// WarmStats counts warm-solve bookkeeping for telemetry and tests.
+type WarmStats struct {
+	// Cycles counts SolveWarm invocations with this state.
+	Cycles int
+	// ColdStarts counts cycles that could not reuse anything (first
+	// use, policy/gateway change, unsorted candidates).
+	ColdStarts int
+	// PathsReused / PathsRecomputed total the per-request initial-path
+	// decisions; LastReused / LastRecomputed are the latest cycle's.
+	PathsReused, PathsRecomputed int
+	LastReused, LastRecomputed   int
+	// DirtyEdges totals candidate edges whose cost signature changed
+	// between cycles; LastDirtyEdges is the latest cycle's count.
+	DirtyEdges, LastDirtyEdges int
+}
+
+// NewWarm returns an empty warm state; its first SolveWarm records a
+// cold start.
+func NewWarm() *Warm { return &Warm{} }
+
+// Stats returns the bookkeeping counters.
+func (w *Warm) Stats() WarmStats {
+	if w == nil {
+		return WarmStats{}
+	}
+	return w.stats
+}
+
+// Ready reports whether the state holds a usable previous cycle.
+func (w *Warm) Ready() bool { return w != nil && w.valid }
+
+// Clone deep-copies the persistent warm state (for the replication
+// stream: the standby's copy must be immune to the acting solver's
+// scratch reuse).
+func (w *Warm) Clone() *Warm {
+	if w == nil {
+		return nil
+	}
+	nw := &Warm{valid: w.valid, cfg: w.cfg, stats: w.stats}
+	nw.gateways = slices.Clone(w.gateways)
+	nw.sigList = slices.Clone(w.sigList)
+	nw.reqIdx = maps.Clone(w.reqIdx)
+	nw.reqList = make([]reqRec, len(w.reqList))
+	for i, rr := range w.reqList {
+		rr.path.links = slices.Clone(rr.path.links)
+		rr.path.popped = slices.Clone(rr.path.popped)
+		nw.reqList[i] = rr
+	}
+	return nw
+}
+
+func normalizeCfg(cfg Config) Config {
+	cfg.Workers = 0
+	return cfg
+}
+
+// f64bits is the bit-pattern identity comparison the warm state's
+// invalidation contract is defined over: "unchanged" means the exact
+// value the previous cycle computed with, nothing looser. (Tolerance
+// here would break the byte-identity guarantee; the vet floateq
+// analyzer forbids float == precisely so this choice stays explicit.)
+func f64bits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// sameCfg compares solver policies field by field, floats by bit
+// pattern.
+func sameCfg(a, b Config) bool {
+	return f64bits(a.HysteresisBonus, b.HysteresisBonus) &&
+		f64bits(a.MarginalPenalty, b.MarginalPenalty) &&
+		f64bits(a.NewLinkCost, b.NewLinkCost) &&
+		f64bits(a.ExistingLinkCost, b.ExistingLinkCost) &&
+		f64bits(a.ChosenLinkCost, b.ChosenLinkCost) &&
+		f64bits(a.SlowBitratePenalty, b.SlowBitratePenalty) &&
+		f64bits(a.RedundancyTargetFrac, b.RedundancyTargetFrac) &&
+		a.MaxPathLen == b.MaxPathLen &&
+		a.Workers == b.Workers
+}
+
+// sameRequest compares requests field by field, floats by bit pattern.
+func sameRequest(a, b Request) bool {
+	return a.ID == b.ID && a.Src == b.Src && a.Dst == b.Dst &&
+		f64bits(a.MinBitrateBps, b.MinBitrateBps)
+}
+
+// candidatesSorted verifies the post-drain edge list is strictly
+// increasing by link ID — the ordering contract the step-identity
+// argument needs (and a duplicate-ID guard for free).
+func (c *ctx) candidatesSorted() bool {
+	for i := 1; i < len(c.edges); i++ {
+		a, b := c.edges[i-1].rep.ID, c.edges[i].rep.ID
+		if a.A > b.A || (a.A == b.A && a.B >= b.B) {
+			return false
+		}
+	}
+	return true
+}
+
+func ltID(a, b radio.LinkID) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	return a.B < b.B
+}
+
+// findEdge locates a link ID in the ID-sorted candidate edge list by
+// binary search. Only called on cycles where candidatesSorted held.
+func (c *ctx) findEdge(id radio.LinkID) (int32, bool) {
+	lo := sort.Search(len(c.edges), func(k int) bool {
+		return !ltID(c.edges[k].rep.ID, id)
+	})
+	if lo < len(c.edges) && c.edges[lo].rep.ID == id {
+		return int32(lo), true
+	}
+	return -1, false
+}
+
+func (w *Warm) uniqueReqIDs(c *ctx) bool {
+	if w.reqSeen == nil {
+		w.reqSeen = make(map[string]bool, len(c.in.Requests))
+	} else {
+		clear(w.reqSeen)
+	}
+	for _, r := range c.in.Requests {
+		if w.reqSeen[r.ID] {
+			return false
+		}
+		w.reqSeen[r.ID] = true
+	}
+	return true
+}
+
+func (w *Warm) sameGateways(gws []string) bool {
+	w.gwScratch = append(w.gwScratch[:0], gws...)
+	sort.Strings(w.gwScratch)
+	if len(w.gwScratch) != len(w.gateways) {
+		return false
+	}
+	for i := range w.gateways {
+		if w.gateways[i] != w.gwScratch[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planReuse decides, per request, whether the previous cycle's
+// initial path can be reused; for reusable requests it fills
+// c.paths/c.has directly and marks c.reused. Returns whether this
+// cycle's state is recordable (sorted candidates, unique request
+// IDs). Safe on a nil receiver (plain cold solve).
+func (w *Warm) planReuse(c *ctx) bool {
+	if w == nil {
+		return false
+	}
+	w.stats.Cycles++
+	recordable := c.candidatesSorted() && w.uniqueReqIDs(c)
+	usable := w.valid && recordable &&
+		sameCfg(normalizeCfg(c.cfg), w.cfg) && w.sameGateways(c.in.Gateways)
+	if !usable {
+		w.stats.ColdStarts++
+		w.stats.LastReused = 0
+		w.stats.LastRecomputed = len(c.in.Requests)
+		w.stats.PathsRecomputed += len(c.in.Requests)
+		return recordable
+	}
+
+	// Distinct bitrate thresholds across this cycle's requests.
+	w.thresholds = w.thresholds[:0]
+	for _, r := range c.in.Requests {
+		seen := false
+		for _, t := range w.thresholds {
+			if f64bits(t, r.MinBitrateBps) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			w.thresholds = append(w.thresholds, r.MinBitrateBps)
+		}
+	}
+	for len(w.threshDirty) < len(w.thresholds) {
+		w.threshDirty = append(w.threshDirty, map[string]bool{})
+	}
+	for i := range w.thresholds {
+		clear(w.threshDirty[i])
+	}
+	if w.baseDirty == nil {
+		w.baseDirty = map[string]bool{}
+	} else {
+		clear(w.baseDirty)
+	}
+
+	// Signature delta → dirty endpoint sets, via a two-pointer merge:
+	// both sides are strictly ID-sorted (candidatesSorted above; the
+	// sigList was recorded from a cycle where the same check held).
+	// Added, removed, and state/penalty-changed edges dirty their
+	// endpoints for every request; a bitrate change only dirties them
+	// for requests whose threshold it crosses.
+	dirty := 0
+	mark := func(na, nb string) {
+		w.baseDirty[na] = true
+		w.baseDirty[nb] = true
+		dirty++
+	}
+	i, j := 0, 0
+	for i < len(c.edges) || j < len(w.sigList) {
+		switch {
+		case j >= len(w.sigList) || (i < len(c.edges) && ltID(c.edges[i].rep.ID, w.sigList[j].id)):
+			e := &c.edges[i] // added
+			mark(c.nodes[e.a], c.nodes[e.b])
+			i++
+		case i >= len(c.edges) || ltID(w.sigList[j].id, c.edges[i].rep.ID):
+			sg := &w.sigList[j] // removed
+			mark(sg.na, sg.nb)
+			j++
+		default:
+			e, sg := &c.edges[i], &w.sigList[j]
+			if sg.exist != e.exist || sg.marginal != e.marginal ||
+				!f64bits(sg.penalty, e.penalty) {
+				mark(c.nodes[e.a], c.nodes[e.b])
+			} else if !f64bits(sg.bitrate, e.bitrate) {
+				flipped := false
+				for ti, t := range w.thresholds {
+					if (sg.bitrate < t) != (e.bitrate < t) {
+						w.threshDirty[ti][c.nodes[e.a]] = true
+						w.threshDirty[ti][c.nodes[e.b]] = true
+						flipped = true
+					}
+				}
+				if flipped {
+					dirty++
+				}
+			}
+			i++
+			j++
+		}
+	}
+	w.stats.LastDirtyEdges = dirty
+	w.stats.DirtyEdges += dirty
+
+	reusedN, recompN := 0, 0
+	for i, r := range c.in.Requests {
+		oi, ok := w.reqIdx[r.ID]
+		if !ok || !sameRequest(w.reqList[oi].req, r) {
+			recompN++
+			continue
+		}
+		rec := &w.reqList[oi].path
+		var td map[string]bool
+		for ti, t := range w.thresholds {
+			if f64bits(t, r.MinBitrateBps) {
+				td = w.threshDirty[ti]
+				break
+			}
+		}
+		clean := true
+		for _, nid := range rec.popped {
+			if w.baseDirty[nid] || td[nid] {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			recompN++
+			continue
+		}
+		// Remap the recorded path onto this cycle's edge indexes. A
+		// missing link here would contradict the cleanliness proof;
+		// fall back to recomputation defensively.
+		buf := c.paths[i][:0]
+		okAll := true
+		for _, id := range rec.links {
+			ei, ok2 := c.findEdge(id)
+			if !ok2 {
+				okAll = false
+				break
+			}
+			buf = append(buf, ei)
+		}
+		if !okAll {
+			recompN++
+			continue
+		}
+		c.paths[i] = buf
+		c.has[i] = rec.ok
+		c.reused[i] = true
+		reusedN++
+	}
+	w.stats.LastReused = reusedN
+	w.stats.LastRecomputed = recompN
+	w.stats.PathsReused += reusedN
+	w.stats.PathsRecomputed += recompN
+	return recordable
+}
+
+// record snapshots this cycle's initial-phase state (edge signatures
+// and per-request paths + popped sets). Must run before the greedy
+// loop mutates the path scratch.
+func (w *Warm) record(c *ctx, recordable bool) {
+	if !recordable {
+		w.valid = false
+		return
+	}
+	w.cfg = normalizeCfg(c.cfg)
+	w.gateways = append(w.gateways[:0], c.in.Gateways...)
+	sort.Strings(w.gateways)
+
+	w.sigList = w.sigList[:0]
+	for i := range c.edges {
+		e := &c.edges[i]
+		w.sigList = append(w.sigList, sigEntry{
+			id: e.rep.ID, na: c.nodes[e.a], nb: c.nodes[e.b],
+			exist: e.exist, marginal: e.marginal,
+			penalty: e.penalty, bitrate: e.bitrate,
+		})
+	}
+
+	newList := make([]reqRec, len(c.in.Requests))
+	for i, r := range c.in.Requests {
+		if c.reused[i] {
+			// Carry the previous record (path and popped set are
+			// unchanged by the step-identity argument).
+			newList[i] = w.reqList[w.reqIdx[r.ID]]
+			continue
+		}
+		links := make([]radio.LinkID, len(c.paths[i]))
+		for k, ei := range c.paths[i] {
+			links[k] = c.edges[ei].rep.ID
+		}
+		newList[i] = reqRec{req: r, path: pathRec{
+			ok:     c.has[i],
+			links:  links,
+			popped: c.popped[i],
+		}}
+		// Ownership of the popped slice moves to the record; the ctx
+		// must not recycle its backing array next cycle.
+		c.popped[i] = nil
+	}
+	w.reqList = newList
+	if w.reqIdx == nil {
+		w.reqIdx = make(map[string]int32, len(newList))
+	} else {
+		clear(w.reqIdx)
+	}
+	for i, rr := range newList {
+		w.reqIdx[rr.req.ID] = int32(i)
+	}
+	w.valid = true
+}
