@@ -55,7 +55,7 @@ func sameReport(a, b *Report) bool {
 func (e *Evaluator) CandidateGraphDelta(xcvrs []*platform.Transceiver, lead float64) ([]*Report, EdgeDelta) {
 	g := e.CandidateGraph(xcvrs, lead)
 	var d EdgeDelta
-	if e.last != nil {
+	if e.haveLast {
 		d.Valid = true
 		// Two-pointer merge: both sides are ID-sorted (CandidateGraph's
 		// output contract; e.last is a snapshot of a previous output).
@@ -91,6 +91,7 @@ func (e *Evaluator) CandidateGraphDelta(xcvrs []*platform.Transceiver, lead floa
 	for k, r := range g {
 		e.last[k] = *r
 	}
+	e.haveLast = true
 	return g, d
 }
 
@@ -101,4 +102,5 @@ func (e *Evaluator) CandidateGraphDelta(xcvrs []*platform.Transceiver, lead floa
 func (e *Evaluator) DropCache() {
 	clear(e.cache)
 	e.last = nil
+	e.haveLast = false
 }

@@ -164,6 +164,33 @@ func TestShardedSweepWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestEmptyGraphIsAValidBaseline: a first emission with zero
+// candidates must still establish the delta baseline — the next call
+// is a valid all-Added delta, not a silent re-cold-start (an empty
+// snapshot must not be confused with DropCache).
+func TestEmptyGraphIsAValidBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, xs := randomFleet(rng, 10)
+	ev := New(DefaultConfig(), clearSky{}, nil)
+	if g, d := ev.CandidateGraphDelta(nil, 0); len(g) != 0 || d.Valid {
+		t.Fatalf("first empty emission: got %d reports, valid=%v; want 0, false", len(g), d.Valid)
+	}
+	g, d := ev.CandidateGraphDelta(xs, 0)
+	if len(g) == 0 {
+		t.Fatal("fleet produced no candidates; scenario is vacuous")
+	}
+	if !d.Valid {
+		t.Fatal("empty previous graph must still count as a baseline")
+	}
+	if d.Added != len(g) || d.Removed != 0 || d.Changed != 0 || d.Unchanged != 0 {
+		t.Fatalf("delta vs empty baseline should be all-Added: %+v", d)
+	}
+	// And back down to empty: everything Removed, still valid.
+	if g2, d2 := ev.CandidateGraphDelta(nil, 0); len(g2) != 0 || !d2.Valid || d2.Removed != len(g) {
+		t.Fatalf("delta down to empty: got %d reports, %+v", len(g2), d2)
+	}
+}
+
 // TestDropCacheResetsDeltaBaseline: DropCache must clear both the
 // pair cache and the delta baseline (a cold promoted controller).
 func TestDropCacheResetsDeltaBaseline(t *testing.T) {

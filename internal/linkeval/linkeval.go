@@ -204,8 +204,12 @@ type Evaluator struct {
 	scr          graphScratch
 
 	// last is the previous CandidateGraphDelta emission (value
-	// snapshots, ID-sorted), for edge-delta computation.
-	last []Report
+	// snapshots, ID-sorted), for edge-delta computation. haveLast
+	// tracks baseline validity explicitly so an empty previous graph
+	// still counts as a baseline (nil-ness can't: an empty snapshot
+	// keeps last nil).
+	last     []Report
+	haveLast bool
 }
 
 // New creates an evaluator.

@@ -76,6 +76,7 @@ type spScratch struct {
 	prevNode []int32
 	stamp    uint32
 	popped   []int32 // nodes popped by the current run (warm recording)
+	capped   bool    // current run hit the MaxPathLen cutoff at least once
 }
 
 func (s *spScratch) ensure(n int) {
@@ -108,16 +109,23 @@ func (s *spScratch) begin() uint32 {
 	s.stamp++
 	s.heap = s.heap[:0]
 	s.popped = s.popped[:0]
+	s.capped = false
 	return s.stamp
 }
 
 // shortestPath routes request ri over viable ∪ chosen edges (or
 // chosen-only when chosenOnly), writing the edge-index path into
 // c.paths[ri] (reused backing) and the found flag into c.has[ri].
-// When record is set the popped-node list is kept in ws.popped for
-// warm-state bookkeeping. Semantics — including the order equal-cost
-// ties resolve in — match SolveReference exactly; see the package
-// comment in this file.
+// It also maintains c.nilKnown[ri]: true only when the search failed
+// WITHOUT ever hitting the MaxPathLen cutoff — such a search has
+// exhausted the source's connected component, so the nil outcome is
+// permanent under the greedy's shrinking edge set. A cap-pruned
+// failure proves nothing (hop-capped reachability is not monotone)
+// and leaves nilKnown false so the request is retried like the
+// reference retries every nil request. When record is set the
+// popped-node list is kept in ws.popped for warm-state bookkeeping.
+// Semantics — including the order equal-cost ties resolve in — match
+// SolveReference exactly; see the package comment in this file.
 //
 //minkowski:hotpath
 func (c *ctx) shortestPath(ri int32, chosenOnly bool, ws *spScratch, record bool) {
@@ -126,6 +134,7 @@ func (c *ctx) shortestPath(ri int32, chosenOnly bool, ws *spScratch, record bool
 	if rq.srcIsDst {
 		c.paths[ri] = out
 		c.has[ri] = true
+		c.nilKnown[ri] = false
 		return
 	}
 	st := ws.begin()
@@ -165,9 +174,11 @@ func (c *ctx) shortestPath(ri int32, chosenOnly bool, ws *spScratch, record bool
 			}
 			c.paths[ri] = out
 			c.has[ri] = true
+			c.nilKnown[ri] = false
 			return
 		}
 		if cur.hops >= maxHops {
+			ws.capped = true
 			continue
 		}
 		for _, ei := range adj[cur.node] {
@@ -215,6 +226,7 @@ func (c *ctx) shortestPath(ri int32, chosenOnly bool, ws *spScratch, record bool
 	}
 	c.paths[ri] = out
 	c.has[ri] = false
+	c.nilKnown[ri] = !ws.capped
 }
 
 // finalRoute runs the chosen-only Dijkstra for the final routing pass

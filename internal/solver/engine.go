@@ -60,7 +60,7 @@ type ctx struct {
 	util     []float64
 	paths    [][]int32 // per request: current path (edge indexes)
 	has      []bool    // per request: path found
-	nilKnown []bool    // per request: proven unreachable this solve
+	nilKnown []bool    // per request: proven PERMANENTLY unreachable (failed search, hop cap never fired)
 	reused   []bool    // per request: initial path reused from warm
 	popped   [][]string
 	broken   []int32
@@ -70,6 +70,7 @@ type ctx struct {
 	degree   []int32
 	nodeCls  []uint8 // redundancy classification: 1 balloon, 2 ground
 
+	workerW int // fan-out width resolved once per solve (see workerCount)
 	workers []spScratch
 }
 
@@ -163,6 +164,7 @@ func (c *ctx) reset(cfg Config, in *Input, workers int) {
 	c.routeOK = growBool(c.routeOK, nR)
 	c.util = growF64(c.util, len(c.edges))
 
+	c.workerW = workers
 	if len(c.workers) < workers {
 		ws := make([]spScratch, workers)
 		copy(ws, c.workers)
@@ -270,12 +272,12 @@ func growStrRows(s [][]string, n int) [][]string {
 	return s
 }
 
-// workerCount resolves the fan-out width for a batch of items.
+// workerCount resolves the fan-out width for a batch of items from
+// the width cached at reset. GOMAXPROCS is deliberately not re-read
+// here: c.workers was sized once at solve start, and a GOMAXPROCS
+// change between batches must not let forEach index past it.
 func (s *Solver) workerCount(items int) int {
-	w := s.cfg.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
+	w := s.c.workerW
 	if w > items {
 		w = items
 	}
@@ -357,9 +359,6 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 			c.popped[ri] = p
 		}
 	})
-	for i := 0; i < nR; i++ {
-		c.nilKnown[i] = !c.has[i]
-	}
 	if w != nil {
 		w.record(c, reusable)
 	}
@@ -398,13 +397,24 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 		if !c.choose(plan, best, false) {
 			c.edges[best].viable = false
 		}
-		// Collect requests whose path lost an edge; re-route them as a
-		// batch. Requests already proven unreachable stay unreachable
-		// (the usable edge set only shrinks), so their re-run is
-		// skipped — the reference recomputes them to the same nil.
+		// Collect requests whose path lost an edge, plus pathless
+		// requests not yet proven permanently unreachable; re-route
+		// them as a batch. The reference recomputes EVERY nil-path
+		// request each iteration; the engine may skip only the
+		// nilKnown ones — a failed search that never hit the hop cap
+		// exhausted the source's component, and connectivity is
+		// monotone under the shrinking edge set, so the reference's
+		// re-run returns the same nil. A cap-pruned failure is NOT
+		// permanent (conflict elimination and chosen-edge cost drops
+		// reorder pops, so a node can finalize with fewer hops and
+		// un-cap a path) and is retried like the reference.
 		c.broken = c.broken[:0]
 		for ri := range c.reqs {
 			if c.nilKnown[ri] {
+				continue
+			}
+			if !c.has[ri] {
+				c.broken = append(c.broken, int32(ri))
 				continue
 			}
 			for _, ei := range c.paths[ri] {
@@ -419,12 +429,6 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 		s.forEach(len(brk), func(k int, ws *spScratch) {
 			c.shortestPath(brk[k], false, ws, false)
 		})
-		for _, ri := range brk {
-			if !c.has[ri] {
-				c.nilKnown[ri] = true
-				c.paths[ri] = c.paths[ri][:0]
-			}
-		}
 	}
 
 	// --- Final routing strictly over the chosen topology ------------
@@ -438,6 +442,12 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 			c.chosenAdj[e.b] = append(c.chosenAdj[e.b], int32(i))
 		}
 	}
+	// The reference final-routes every request. nilKnown requests are
+	// component-unreachable over the usable edge set, and the chosen
+	// set is a subset of it, so their chosen-only route is the same
+	// nil and the Dijkstra is skipped; everything else (including
+	// cap-pruned failures, whose reachability over the smaller chosen
+	// graph can differ) runs for real.
 	s.forEach(nR, func(ri int, ws *spScratch) {
 		if c.nilKnown[ri] {
 			c.routeOK[ri] = false

@@ -16,6 +16,7 @@ import (
 	"minkowski/internal/linkeval"
 	"minkowski/internal/platform"
 	"minkowski/internal/radio"
+	"minkowski/internal/rf"
 )
 
 // eqWorld is a drifting fleet scenario: a grid of balloons over a few
@@ -291,6 +292,132 @@ func TestWarmCloneIsolation(t *testing.T) {
 	s2 := New(DefaultConfig())
 	if got, want := s2.SolveWarm(in, snap).Fingerprint(), ref.SolveReference(in).Fingerprint(); got != want {
 		t.Fatalf("adopted warm snapshot diverged from reference")
+	}
+}
+
+// TestEngineMatchesReferenceTightHopCap pins the hop-cap
+// non-monotonicity case: with a binding MaxPathLen, a request that
+// starts out unreachable can BECOME routable mid-greedy (conflict
+// elimination and chosen-edge cost drops reorder Dijkstra pops, so a
+// node can finalize with fewer hops and un-cap a path). The reference
+// re-runs every nil request each iteration and final-routes everyone;
+// the engine must match byte for byte — it may only memoize nils
+// whose search never hit the cap. Runs cold and warm-chained, across
+// tight caps, seeds, and worker counts.
+func TestEngineMatchesReferenceTightHopCap(t *testing.T) {
+	for _, maxLen := range []int{1, 2, 3, 4} {
+		for _, seed := range []uint64{0x7C4A, 0xA11CE} {
+			for _, workers := range []int{1, 8} {
+				t.Run(fmt.Sprintf("cap=%d/seed=%x/workers=%d", maxLen, seed, workers), func(t *testing.T) {
+					cfg := DefaultConfig()
+					cfg.MaxPathLen = maxLen
+					cfg.Workers = workers
+					s := New(cfg)
+					ref := New(cfg)
+					warmS := New(cfg)
+					warm := NewWarm()
+					w := newEqWorld(12, seed)
+					existing := map[radio.LinkID]bool{}
+					sawUnsat := false
+					for cyc := 0; cyc < 6; cyc++ {
+						in := w.input(existing)
+						refPlan := ref.SolveReference(in)
+						want := refPlan.Fingerprint()
+						if got := s.Solve(in).Fingerprint(); got != want {
+							t.Fatalf("cycle %d: cold engine diverged under cap %d\nengine:\n%s\nreference:\n%s", cyc, maxLen, got, want)
+						}
+						if got := warmS.SolveWarm(in, warm).Fingerprint(); got != want {
+							t.Fatalf("cycle %d: warm engine diverged under cap %d\nengine:\n%s\nreference:\n%s", cyc, maxLen, got, want)
+						}
+						sawUnsat = sawUnsat || len(refPlan.Unsatisfied) > 0
+						existing = existingFrom(refPlan)
+						w.drift()
+					}
+					if maxLen <= 2 && !sawUnsat {
+						t.Fatalf("vacuous scenario: cap %d never left a request unsatisfied", maxLen)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHopCapUnreachableBecomesRoutable is the deterministic
+// construction of the nil→routable flip. World (MaxPathLen = 2):
+//
+//	s ──eSX── x          x has ONE transceiver, shared by eSX and eXM
+//	│          │
+//	eSM       eXM
+//	(penalty)  │
+//	└─────── m ──eMD── d
+//
+// Request r1 (s→d) initially fails: Dijkstra finalizes m via the
+// cheap 2-hop s-x-m route (4.4) before the penalized direct s-m edge
+// (5.2), and at 2 hops the cap stops expansion — d is never reached,
+// but ONLY because of the cap. Request r2 (s→x) then makes the greedy
+// commit eSX, whose conflict elimination kills eXM (shared x
+// transceiver). Now m finalizes via s-m at 1 hop and d is reachable
+// within the cap: the reference's per-iteration re-run of nil
+// requests finds s-m-d and routes r1. An engine that memoizes the
+// initial nil as permanent never retries and strands r1.
+func TestHopCapUnreachableBecomesRoutable(t *testing.T) {
+	mkNode := func(id string, nx int) *platform.Node {
+		n := &platform.Node{ID: id, Kind: platform.KindBalloon}
+		for i := 0; i < nx; i++ {
+			n.Xcvrs = append(n.Xcvrs, &platform.Transceiver{
+				ID: fmt.Sprintf("%s/x%d", id, i), Node: n,
+			})
+		}
+		return n
+	}
+	s := mkNode("s", 2)
+	x := mkNode("x", 1)
+	m := mkNode("m", 3)
+	d := mkNode("d", 1)
+	mkRep := func(xa, xb *platform.Transceiver) *linkeval.Report {
+		return &linkeval.Report{
+			ID: radio.MakeLinkID(xa.ID, xb.ID), XA: xa, XB: xb,
+			Budget: rf.Budget{BitrateBps: 100e6, MarginDB: 10},
+		}
+	}
+	eMD := mkRep(m.Xcvrs[2], d.Xcvrs[0])
+	eXM := mkRep(x.Xcvrs[0], m.Xcvrs[0])
+	eSM := mkRep(s.Xcvrs[1], m.Xcvrs[1])
+	eSX := mkRep(s.Xcvrs[0], x.Xcvrs[0])
+	in := Input{
+		// Strictly ID-sorted (the warm ordering contract).
+		Candidates: []*linkeval.Report{eMD, eXM, eSM, eSX},
+		Requests: []Request{
+			{ID: "r1", Src: "s", Dst: "d", MinBitrateBps: 10e6},
+			{ID: "r2", Src: "s", Dst: "x", MinBitrateBps: 10e6},
+		},
+		Penalties: map[radio.LinkID]float64{eSM.ID: 3.0},
+	}
+	cfg := DefaultConfig()
+	cfg.MaxPathLen = 2
+
+	ref := New(cfg).SolveReference(in)
+	route, ok := ref.Routes["r1"]
+	if !ok || len(route) != 3 || route[0] != "s" || route[1] != "m" || route[2] != "d" {
+		t.Fatalf("scenario must flip r1 from unreachable to routed s-m-d; reference gave %v (unsat %v)", route, ref.Unsatisfied)
+	}
+	want := ref.Fingerprint()
+	for _, workers := range []int{1, 4} {
+		cfgW := cfg
+		cfgW.Workers = workers
+		if got := New(cfgW).Solve(in).Fingerprint(); got != want {
+			t.Errorf("cold engine (workers=%d) stranded the un-capped request:\nengine:\n%s\nreference:\n%s", workers, got, want)
+		}
+		sw := New(cfgW)
+		warm := NewWarm()
+		for cyc := 0; cyc < 3; cyc++ {
+			if got := sw.SolveWarm(in, warm).Fingerprint(); got != want {
+				t.Errorf("warm cycle %d (workers=%d) diverged:\nengine:\n%s\nreference:\n%s", cyc, workers, got, want)
+			}
+		}
+		if st := warm.Stats(); st.PathsReused == 0 {
+			t.Errorf("warm chain never reused a path (vacuous permNil coverage): %+v", st)
+		}
 	}
 }
 

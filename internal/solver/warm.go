@@ -75,9 +75,14 @@ type sigEntry struct {
 
 // pathRec is one request's recorded initial-phase outcome.
 type pathRec struct {
-	ok     bool
-	links  []radio.LinkID
-	popped []string
+	ok bool
+	// permNil records that the (failed) search never hit the hop cap,
+	// i.e. it exhausted the source's component and the nil outcome is
+	// permanent for the whole solve. Reused by step-identity: a clean
+	// request's re-run would replay the same pops and cap events.
+	permNil bool
+	links   []radio.LinkID
+	popped  []string
 }
 
 type reqRec struct {
@@ -371,6 +376,7 @@ func (w *Warm) planReuse(c *ctx) bool {
 		}
 		c.paths[i] = buf
 		c.has[i] = rec.ok
+		c.nilKnown[i] = rec.permNil
 		c.reused[i] = true
 		reusedN++
 	}
@@ -416,9 +422,10 @@ func (w *Warm) record(c *ctx, recordable bool) {
 			links[k] = c.edges[ei].rep.ID
 		}
 		newList[i] = reqRec{req: r, path: pathRec{
-			ok:     c.has[i],
-			links:  links,
-			popped: c.popped[i],
+			ok:      c.has[i],
+			permNil: c.nilKnown[i],
+			links:   links,
+			popped:  c.popped[i],
 		}}
 		// Ownership of the popped slice moves to the record; the ctx
 		// must not recycle its backing array next cycle.
