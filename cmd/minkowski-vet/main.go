@@ -1,32 +1,48 @@
 // Command minkowski-vet is the repository's multichecker: it runs the
-// five custom determinism/unit-safety/hot-path analyzers over the
+// nine custom determinism/unit-safety/concurrency analyzers over the
 // tree and exits nonzero on any finding. CI runs it next to go vet:
 //
 //	go run ./cmd/minkowski-vet ./...
 //
 // Analyzers (contracts in DESIGN.md §8):
 //
-//	detrand  — no wall-clock reads or ambient randomness in internal/
-//	mapiter  — no order-sensitive effects inside map iteration
-//	units    — no arithmetic or call arguments mixing unit suffixes
-//	floateq  — no float ==/!= outside annotated memo-key comparisons
-//	hotpath  — no allocation-prone constructs in //minkowski:hotpath funcs
+//	detrand   — no wall-clock reads or ambient randomness in internal/
+//	mapiter   — no order-sensitive effects inside map iteration
+//	units     — no arithmetic or call arguments mixing unit suffixes
+//	floateq   — no float ==/!= outside annotated memo-key comparisons
+//	hotpath   — no allocation-prone constructs in //minkowski:hotpath funcs
+//	locks     — no lock copies, unlock/lock imbalance, or cross-package
+//	            lock-acquisition-order cycles (via exported facts)
+//	goexec    — no loop-var capture, unsynchronized captured writes, or
+//	            WaitGroup.Add misuse in goroutine-executed closures
+//	dettaint  — no wall-clock / unseeded-rand / GOMAXPROCS / map-order
+//	            reads reachable from Solve, SolveWarm, or
+//	            //minkowski:hotpath roots (whole-load call graph)
+//	directive — no malformed or unknown //minkowski: directives
+//
+// Packages are analyzed in dependency order so facts exported by an
+// upstream package (lock acquisition sets) are importable downstream.
 //
 // Flags:
 //
-//	-run a,b   run only the named analyzers
-//	-list      print the analyzers and exit
+//	-run a,b    run only the named analyzers
+//	-list       print the analyzers and exit
+//	-json FILE  also write findings as a JSON artifact (CI uploads it)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"minkowski/internal/analysis/detrand"
+	"minkowski/internal/analysis/dettaint"
 	"minkowski/internal/analysis/floateq"
+	"minkowski/internal/analysis/goexec"
 	"minkowski/internal/analysis/hotpath"
+	"minkowski/internal/analysis/locks"
 	"minkowski/internal/analysis/mapiter"
 	"minkowski/internal/analysis/units"
 	"minkowski/internal/analysis/vet"
@@ -38,16 +54,29 @@ var analyzers = []*vet.Analyzer{
 	units.Analyzer,
 	floateq.Analyzer,
 	hotpath.Analyzer,
+	locks.Analyzer,
+	goexec.Analyzer,
+	dettaint.Analyzer,
+	vet.DirectivesAnalyzer,
+}
+
+// jsonFinding is one row of the -json findings artifact.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Position string `json:"position"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	jsonFlag := flag.String("json", "", "write findings as JSON to this file")
 	flag.Parse()
 
 	if *listFlag {
 		for _, a := range analyzers {
-			fmt.Printf("%-8s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-9s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -86,7 +115,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One runner across the whole load: the call graph spans every
+	// package, and facts flow in the dependency order Load returns.
+	runner := vet.NewRunner(pkgs)
+
 	exit := 0
+	findings := []jsonFinding{} // non-nil so the artifact is [] when clean
 	for _, pkg := range pkgs {
 		// The analyzers need sound type information; a package that
 		// does not type-check cannot vet clean.
@@ -98,15 +132,33 @@ func main() {
 			if a.PackageFilter != nil && !a.PackageFilter(pkg.PkgPath) {
 				continue
 			}
-			diags, err := vet.RunPackage(a, pkg)
+			diags, err := runner.Run(a, pkg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "minkowski-vet: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
 				exit = 2
 				continue
 			}
 			for _, d := range diags {
-				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s: [%s] %s\n", pos, a.Name, d.Message)
+				findings = append(findings, jsonFinding{
+					Analyzer: a.Name, Package: pkg.PkgPath,
+					Position: pos.String(), Message: d.Message,
+				})
 				exit = 1
+			}
+		}
+	}
+
+	if *jsonFlag != "" {
+		data, err := json.MarshalIndent(findings, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonFlag, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minkowski-vet: writing %s: %v\n", *jsonFlag, err)
+			if exit == 0 {
+				exit = 2
 			}
 		}
 	}

@@ -48,7 +48,7 @@ var allowedRandFuncs = map[string]bool{
 	"NewSource": true,
 }
 
-func run(pass *vet.Pass) error {
+func run(pass *vet.Pass) (any, error) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -79,7 +79,7 @@ func run(pass *vet.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // calleeFunc resolves a call's callee to a *types.Func, or nil for

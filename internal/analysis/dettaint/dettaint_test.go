@@ -1,0 +1,56 @@
+package dettaint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minkowski/internal/analysis/dettaint"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestDettaint(t *testing.T) {
+	vet.RunWant(t, dettaint.Analyzer, "dettest")
+}
+
+// TestDettaintCrossPackage checks that taint carries across an import
+// boundary: libb's roots reach a clock read declared in liba.
+func TestDettaintCrossPackage(t *testing.T) {
+	vet.RunWant(t, dettaint.Analyzer, "detchain/liba", "detchain/libb")
+}
+
+// TestMidChainGOMAXPROCSRegression pins the bug class that motivated
+// the analyzer: a GOMAXPROCS read buried mid-call-chain below a
+// hotpath root (a worker-count helper consulted during an in-flight
+// solve) must be reported at the root. If this test fails, dettaint
+// can no longer catch the mid-solve re-sharding regression.
+func TestMidChainGOMAXPROCSRegression(t *testing.T) {
+	root, err := vet.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := vet.NewLoader(root)
+	pkg, err := loader.LoadDir("dettest", filepath.Join("testdata", "src", "dettest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := vet.RunPackage(dettaint.Analyzer, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "hotpath root Hot reaches runtime.GOMAXPROCS") &&
+			strings.Contains(d.Message, "dettest.shard → dettest.workers") {
+			return
+		}
+	}
+	t.Fatalf("no diagnostic flags the mid-chain GOMAXPROCS read; got:\n%s", renderDiags(pkg, diags))
+}
+
+func renderDiags(pkg *vet.Package, diags []vet.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(pkg.Fset.Position(d.Pos).String() + ": " + d.Message + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,11 @@
+// Package liba is the upstream half of the cross-package dettaint
+// suite: a helper whose clock read taints downstream hotpaths.
+package liba
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is deterministic.
+func Pure(x int) int { return x * 2 }

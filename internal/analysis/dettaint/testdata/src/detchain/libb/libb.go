@@ -1,0 +1,21 @@
+// Package libb holds hotpath roots whose taint arrives only through
+// the imported package liba: the call graph must carry reachability
+// across the package boundary.
+package libb
+
+import "detchain/liba"
+
+// Solve reaches liba.Stamp's clock read one package away.
+func Solve(x int) int { // want `hotpath root Solve reaches the wall clock \(time\.Now\) at liba\.go:\d+ \(via libb\.Solve → libb\.mix → liba\.Stamp\)`
+	return mix(x)
+}
+
+func mix(x int) int { return x + int(liba.Stamp()) }
+
+// SolveClean is a root that calls only deterministic helpers from
+// liba: no finding.
+//
+//minkowski:hotpath
+func SolveClean(x int) int {
+	return liba.Pure(x)
+}

@@ -51,7 +51,7 @@ func allowlisted(pkgPath string) bool {
 	return false
 }
 
-func run(pass *vet.Pass) error {
+func run(pass *vet.Pass) (any, error) {
 	inAllowPkg := pass.Pkg != nil && allowlisted(pass.Pkg.Path())
 	for _, file := range pass.Files {
 		// Track the enclosing statement of each comparison so a
@@ -90,7 +90,7 @@ func run(pass *vet.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // directiveFor resolves the floateq-ok directive governing a

@@ -1,0 +1,12 @@
+package goexec_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/goexec"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestGoexec(t *testing.T) {
+	vet.RunWant(t, goexec.Analyzer, "goexectest")
+}

@@ -1,0 +1,178 @@
+// Package goexectest exercises the goexec analyzer: loop-variable
+// capture, unsynchronized captured writes, WaitGroup.Add misuse, the
+// worker-pool parameter fixpoint, and //minkowski:goexec-ok.
+package goexectest
+
+import "sync"
+
+var total int
+var mu sync.Mutex
+
+func use(int) {}
+
+// --- Loop-variable capture -------------------------------------------
+
+func captureRange(xs []int) {
+	for _, v := range xs {
+		go func() {
+			use(v) // want `goroutine closure captures loop variable v`
+		}()
+	}
+}
+
+func captureFor(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			use(i) // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+func okArgument(xs []int) {
+	for _, v := range xs {
+		go func(v int) {
+			use(v) // passed as an argument: per-goroutine copy
+		}(v)
+	}
+}
+
+func okShadow(xs []int) {
+	for _, v := range xs {
+		v := v // a fresh object per iteration, not the loop variable
+		go func() {
+			use(v)
+		}()
+	}
+}
+
+func okInnerLoop(lo, hi int) {
+	go func() {
+		for i := lo; i < hi; i++ {
+			use(i) // the loop lives inside the goroutine: private state
+		}
+		for _, v := range []int{lo, hi} {
+			use(v)
+		}
+	}()
+}
+
+// --- Captured writes -------------------------------------------------
+
+func capturedCounter(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			total++ // want `goroutine writes captured variable total without synchronization`
+		}()
+	}
+}
+
+func capturedMap(m map[string]int) {
+	go func() {
+		m["k"] = 1 // want `goroutine writes captured map m: concurrent map writes fault at runtime`
+	}()
+}
+
+func capturedIndex(results []int) {
+	idx := 3
+	go func() {
+		results[idx] = 1 // want `goroutine writes results\[…\] with an index not local to the closure`
+	}()
+}
+
+func okSlotIndexed(results []int) {
+	for i := range results {
+		go func(k int) {
+			results[k] = k * 2 // slot indexing: each goroutine owns its element
+		}(i)
+	}
+}
+
+func okLockGuarded(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			mu.Lock()
+			total++
+			mu.Unlock()
+		}()
+	}
+}
+
+func okLocalState() {
+	go func() {
+		sum := 0
+		sum++ // closure-local: private state
+		use(sum)
+	}()
+}
+
+func annotatedWrite() {
+	done := false
+	go func() {
+		//minkowski:goexec-ok single writer, reader synchronizes via channel close elsewhere
+		done = true
+	}()
+	_ = done
+}
+
+func emptyJustification() {
+	done := false
+	go func() {
+		//minkowski:goexec-ok
+		done = true // want `goexec-ok requires a justification`
+	}()
+	_ = done
+}
+
+// --- WaitGroup.Add ---------------------------------------------------
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func(k int) {
+			wg.Add(1) // want `WaitGroup\.Add inside the goroutine`
+			defer wg.Done()
+			use(k)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func okAddBeforeGo(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			use(k)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- Worker-pool parameter fixpoint ----------------------------------
+
+// parallel go-executes its func parameter; the call graph's goroutine
+// fixpoint must mark closures passed to it as goroutine-executed.
+func parallel(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			fn(k)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func poolSlotWrite(results []int) {
+	parallel(len(results), func(k int) {
+		results[k] = k // slot-indexed through the pool: fine
+	})
+}
+
+func poolSharedWrite(n int) {
+	parallel(n, func(k int) {
+		total += k // want `goroutine writes captured variable total without synchronization`
+	})
+}

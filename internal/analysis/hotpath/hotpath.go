@@ -38,7 +38,7 @@ var Analyzer = &vet.Analyzer{
 	Run:  run,
 }
 
-func run(pass *vet.Pass) error {
+func run(pass *vet.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -48,7 +48,7 @@ func run(pass *vet.Pass) error {
 			checkFunc(pass, fn)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {

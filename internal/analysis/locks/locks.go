@@ -1,0 +1,820 @@
+// Package locks implements the minkowski-vet concurrency-discipline
+// analyzer for mutual exclusion. The parallel pipeline (solver worker
+// pool, linkeval fan-out, chaos search) keeps almost all
+// synchronization at package boundaries — the itu LUT cache, the
+// replication stream — which is exactly where an intra-package
+// checker goes blind. This analyzer checks, per function:
+//
+//   - lock copies: a sync.Mutex/RWMutex/WaitGroup/Once (or any type
+//     transitively containing one) received, assigned, ranged, or
+//     returned by value silently forks the lock state;
+//   - Unlock without a preceding Lock of the same mutex in the
+//     function (an unlock of a mutex this function never acquired);
+//   - returns (early or final) while a mutex is held with no
+//     deferred unlock — the missing-unlock-on-error-path bug class;
+//   - re-acquiring a mutex already held (self-deadlock).
+//
+// And across packages, via exported facts:
+//
+//   - lock-acquisition-order cycles: each function's acquisition set
+//     is exported as an AcquiresFact; pairs "A held while acquiring
+//     B" (directly, or through a call whose acquisition set is known)
+//     are exported as a LockOrderFact; a package whose local pairs
+//     close a cycle against the merged order graph of its dependency
+//     closure reports at the acquisition site that closes it.
+//
+// The per-path analysis is a block-structured approximation, not a
+// full CFG: branches are analyzed with cloned lock state and assumed
+// balanced afterwards. That trades a class of contrived false
+// negatives (lock in one branch, unlock in a later matching branch)
+// for zero false positives on the conditional-lock idiom; DESIGN.md
+// §8 records the caveat. A deliberate exception carries
+// //minkowski:locks-ok <justification>.
+package locks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"minkowski/internal/analysis/vet"
+)
+
+// Analyzer is the concurrency-discipline checker.
+var Analyzer = &vet.Analyzer{
+	Name:      "locks",
+	Doc:       "flag lock copies, unlock/lock imbalance, and cross-package lock-order cycles",
+	Run:       run,
+	FactTypes: []vet.Fact{&AcquiresFact{}, &LockOrderFact{}},
+}
+
+// AcquiresFact is exported for every function that may acquire
+// package-visible locks: the set of canonical lock keys ("pkgpath.Var"
+// or "pkgpath.Type.field") it may lock, directly or transitively.
+type AcquiresFact struct{ Locks []string }
+
+// AFact marks AcquiresFact as a vet fact.
+func (*AcquiresFact) AFact() {}
+
+// LockOrderFact is exported per package: every ordered pair (A, B)
+// meaning some function acquires B while holding A.
+type LockOrderFact struct{ Pairs [][2]string }
+
+// AFact marks LockOrderFact as a vet fact.
+func (*LockOrderFact) AFact() {}
+
+// lockClasses are the sync types whose by-value copy is a bug.
+var lockClasses = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true,
+}
+
+func run(pass *vet.Pass) (any, error) {
+	a := &analysis{
+		pass:    pass,
+		acq:     map[*types.Func][]string{},
+		callees: map[*types.Func][]*types.Func{},
+	}
+	var fns []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				fns = append(fns, fn)
+			}
+		}
+	}
+
+	// Phase 1: per-function direct acquisition sets and same-package
+	// call edges, then a fixpoint closure so a function's set covers
+	// everything its (loaded, same-package) callees acquire.
+	// Cross-package callees contribute through imported facts.
+	for _, fn := range fns {
+		a.collectAcquires(fn)
+	}
+	a.closeAcquires()
+
+	// Phase 2: discipline walk + order pairs + copies.
+	for _, fn := range fns {
+		a.checkFunc(fn)
+	}
+	for _, file := range pass.Files {
+		a.checkCopiesOutsideFuncs(file)
+	}
+
+	// Phase 3: export facts and detect order cycles.
+	a.exportFacts()
+	a.detectCycles()
+	return nil, nil
+}
+
+type lockPair struct {
+	from, to string
+	pos      token.Pos
+}
+
+type analysis struct {
+	pass    *vet.Pass
+	acq     map[*types.Func][]string      // same-package acquisition closure
+	callees map[*types.Func][]*types.Func // same-package static call edges
+	pairs   []lockPair                    // local "held from, acquired to"
+}
+
+// --- Lock identification ---------------------------------------------
+
+// mutexOp classifies a call as a sync lock operation.
+type mutexOp struct {
+	recv   ast.Expr // receiver expression (the mutex)
+	name   string   // Lock, Unlock, RLock, RUnlock, TryLock, TryRLock
+	isR    bool     // read-side op
+	isLock bool     // acquiring op
+}
+
+func (a *analysis) asMutexOp(call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	fn := calleeFunc(a.pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	name := fn.Name()
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return mutexOp{}, false
+	}
+	return mutexOp{
+		recv:   sel.X,
+		name:   name,
+		isR:    strings.Contains(name, "R") && name != "Lock" && name != "Unlock",
+		isLock: name != "Unlock" && name != "RUnlock",
+	}, true
+}
+
+// lockText is the lexical identity of a mutex within one function.
+func (a *analysis) lockText(op mutexOp) string {
+	t := types.ExprString(op.recv)
+	if op.isR {
+		t = "r:" + t
+	}
+	return t
+}
+
+// lockKey canonicalizes a mutex expression to a cross-package lock
+// class: "pkgpath.Var" for package-level mutexes, "pkgpath.Type.field"
+// for struct-field mutexes (all instances of a type share one class),
+// "" when neither applies (function-local locks take part in the
+// discipline checks but not in order analysis).
+func (a *analysis) lockKey(recv ast.Expr) string {
+	info := a.pass.TypesInfo
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// --- Acquisition sets -------------------------------------------------
+
+func (a *analysis) collectAcquires(fn *ast.FuncDecl) {
+	obj, _ := a.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := a.asMutexOp(call); ok && op.isLock {
+			if key := a.lockKey(op.recv); key != "" {
+				a.acq[obj] = append(a.acq[obj], key)
+			}
+			return true
+		}
+		if callee := calleeFunc(a.pass, call); callee != nil && callee.Pkg() != nil {
+			if callee.Pkg().Path() == a.pass.Pkg.Path() {
+				a.callees[obj] = append(a.callees[obj], callee)
+			} else {
+				var f AcquiresFact
+				if a.pass.ImportObjectFact(callee, &f) {
+					a.acq[obj] = append(a.acq[obj], f.Locks...)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *analysis) closeAcquires() {
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range a.callees {
+			have := map[string]bool{}
+			for _, k := range a.acq[fn] {
+				have[k] = true
+			}
+			for _, c := range callees {
+				for _, k := range a.acq[c] {
+					if !have[k] {
+						have[k] = true
+						a.acq[fn] = append(a.acq[fn], k)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for fn := range a.acq {
+		a.acq[fn] = sortedUnique(a.acq[fn])
+	}
+}
+
+// acquiresOf returns the acquisition set of a callee: the local
+// closure for same-package functions, the imported fact otherwise.
+func (a *analysis) acquiresOf(fn *types.Func) []string {
+	if fn.Pkg() != nil && fn.Pkg().Path() == a.pass.Pkg.Path() {
+		return a.acq[fn]
+	}
+	var f AcquiresFact
+	if a.pass.ImportObjectFact(fn, &f) {
+		return f.Locks
+	}
+	return nil
+}
+
+// --- Discipline walk --------------------------------------------------
+
+// heldLock is one acquisition on the current abstract path.
+type heldLock struct {
+	text     string // lexical identity (discipline)
+	key      string // canonical identity (order; may be "")
+	pos      token.Pos
+	deferred bool // a deferred unlock discharges the obligation
+}
+
+type lockState struct {
+	held       []heldLock
+	lockedEver map[string]bool // lock texts acquired anywhere earlier in the function
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{held: append([]heldLock(nil), s.held...), lockedEver: s.lockedEver}
+	return c
+}
+
+func (a *analysis) checkFunc(fn *ast.FuncDecl) {
+	state := &lockState{lockedEver: map[string]bool{}}
+	a.walkStmts(fn.Body.List, state)
+	// Fall-through end of function: obligations must be discharged.
+	for _, h := range state.held {
+		if !h.deferred {
+			a.reportf(h.pos, "%s is locked here but not unlocked on the fall-through path out of %s", strings.TrimPrefix(h.text, "r:"), fn.Name.Name)
+		}
+	}
+	// Function literals are their own execution contexts (they run
+	// later, under their own path): each gets a fresh walk — except
+	// `defer func(){...}()` literals, which extend the enclosing
+	// function's path (their unlocks discharged obligations above).
+	deferredLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !deferredLits[lit] {
+			st := &lockState{lockedEver: map[string]bool{}}
+			a.walkStmts(lit.Body.List, st)
+			for _, h := range st.held {
+				if !h.deferred {
+					a.reportf(h.pos, "%s is locked here but not unlocked on the fall-through path out of the function literal", strings.TrimPrefix(h.text, "r:"))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkStmts advances the abstract lock state through a statement list.
+// Nested function literals are skipped (checked separately); branch
+// bodies run on cloned states and are assumed balanced afterwards.
+func (a *analysis) walkStmts(stmts []ast.Stmt, state *lockState) {
+	for _, stmt := range stmts {
+		a.walkStmt(stmt, state)
+	}
+}
+
+func (a *analysis) walkStmt(stmt ast.Stmt, state *lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			a.applyCall(call, state, false)
+		}
+	case *ast.DeferStmt:
+		a.applyCall(s.Call, state, true)
+	case *ast.GoStmt:
+		// Runs later on another goroutine; its body is checked as a
+		// separate context by checkFunc.
+	case *ast.ReturnStmt:
+		for _, h := range state.held {
+			if !h.deferred {
+				a.reportf(s.Pos(), "return while holding %s (locked at line %d); unlock before returning or defer the unlock",
+					strings.TrimPrefix(h.text, "r:"), a.pass.Fset.Position(h.pos).Line)
+			}
+		}
+	case *ast.BlockStmt:
+		a.walkStmts(s.List, state)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, state)
+		}
+		a.walkStmts(s.Body.List, state.clone())
+		if s.Else != nil {
+			a.walkStmt(s.Else, state.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, state)
+		}
+		a.walkStmts(s.Body.List, state.clone())
+	case *ast.RangeStmt:
+		a.walkStmts(s.Body.List, state.clone())
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				a.walkStmts(cc.Body, state.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		a.walkStmt(s.Stmt, state)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				a.applyCall(call, state, false)
+			}
+		}
+	}
+}
+
+// applyCall transitions the lock state across one call (possibly
+// deferred): a mutex op mutates held/obligations; any other call with
+// a known acquisition set generates order pairs against held locks.
+func (a *analysis) applyCall(call *ast.CallExpr, state *lockState, deferred bool) {
+	if op, ok := a.asMutexOp(call); ok {
+		text := a.lockText(op)
+		switch {
+		case op.isLock && deferred:
+			// `defer mu.Lock()` is almost certainly a typo'd unlock,
+			// but it is not this analyzer's bug class; ignore.
+		case op.isLock:
+			for _, h := range state.held {
+				if h.text == text {
+					a.reportf(call.Pos(), "acquiring %s while already holding it (locked at line %d): self-deadlock",
+						strings.TrimPrefix(text, "r:"), a.pass.Fset.Position(h.pos).Line)
+				}
+			}
+			a.recordPairs(state, a.lockKey(op.recv), call.Pos())
+			state.held = append(state.held, heldLock{text: text, key: a.lockKey(op.recv), pos: call.Pos()})
+			state.lockedEver[text] = true
+		case deferred:
+			// defer mu.Unlock(): discharge the newest matching
+			// obligation, but the mutex stays held (for ordering)
+			// until the function returns.
+			for i := len(state.held) - 1; i >= 0; i-- {
+				if state.held[i].text == text && !state.held[i].deferred {
+					state.held[i].deferred = true
+					return
+				}
+			}
+			// A deferred unlock with no held lock is fine when a Lock
+			// precedes in some branch; flag only if never locked.
+			if !state.lockedEver[text] {
+				a.reportf(call.Pos(), "deferred %s.Unlock but this function never locks it", strings.TrimPrefix(text, "r:"))
+			}
+		default:
+			for i := len(state.held) - 1; i >= 0; i-- {
+				if state.held[i].text == text {
+					state.held = append(state.held[:i], state.held[i+1:]...)
+					return
+				}
+			}
+			if !state.lockedEver[text] {
+				a.reportf(call.Pos(), "%s.Unlock without a preceding Lock in this function", strings.TrimPrefix(text, "r:"))
+			}
+		}
+		return
+	}
+	// defer func() { mu.Unlock() }(): scan the literal for unlocks to
+	// discharge obligations.
+	if deferred {
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if op, ok := a.asMutexOp(c); ok && !op.isLock {
+						text := a.lockText(mutexOp{recv: op.recv, isR: op.isR})
+						for i := len(state.held) - 1; i >= 0; i-- {
+							if state.held[i].text == text && !state.held[i].deferred {
+								state.held[i].deferred = true
+								break
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return
+	}
+	// Ordinary call: order pairs against its acquisition set.
+	if len(state.held) == 0 {
+		return
+	}
+	if callee := calleeFunc(a.pass, call); callee != nil {
+		for _, key := range a.acquiresOf(callee) {
+			a.recordPairs(state, key, call.Pos())
+		}
+	}
+}
+
+// recordPairs adds (held → acquired) order pairs for every lock
+// currently held with a canonical key.
+func (a *analysis) recordPairs(state *lockState, acquired string, pos token.Pos) {
+	if acquired == "" {
+		return
+	}
+	for _, h := range state.held {
+		if h.key != "" && h.key != acquired {
+			a.pairs = append(a.pairs, lockPair{from: h.key, to: acquired, pos: pos})
+		}
+	}
+}
+
+// --- Copies -----------------------------------------------------------
+
+// containsLock reports whether t transitively contains a sync lock
+// type by value.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && lockClasses[named.Obj().Name()] {
+			return true
+		}
+		return containsLockRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockRec(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(t.Elem(), seen)
+	}
+	return false
+}
+
+// lockDesc names the first lock class found in t, for diagnostics.
+func lockDesc(t types.Type) string {
+	desc := ""
+	var rec func(t types.Type, seen map[types.Type]bool)
+	rec = func(t types.Type, seen map[types.Type]bool) {
+		if t == nil || seen[t] || desc != "" {
+			return
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && lockClasses[named.Obj().Name()] {
+				desc = "sync." + named.Obj().Name()
+				return
+			}
+			rec(named.Underlying(), seen)
+			return
+		}
+		switch t := t.(type) {
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				rec(t.Field(i).Type(), seen)
+			}
+		case *types.Array:
+			rec(t.Elem(), seen)
+		}
+	}
+	rec(t, map[types.Type]bool{})
+	if desc == "" {
+		desc = "a lock"
+	}
+	return desc
+}
+
+// isCopySource reports whether the expression reads an existing value
+// (so assigning it copies lock state). Fresh values — composite
+// literals, calls constructing a value — are not copies of anything.
+func isCopySource(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// checkCopiesOutsideFuncs walks a whole file for lock copies: by-value
+// params/receivers/results on function declarations, assignments,
+// range clauses, and returns.
+func (a *analysis) checkCopiesOutsideFuncs(file *ast.File) {
+	info := a.pass.TypesInfo
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			check := func(fl *ast.FieldList, what string) {
+				if fl == nil {
+					return
+				}
+				for _, f := range fl.List {
+					t := info.TypeOf(f.Type)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						continue
+					}
+					if containsLock(t) && !a.exempt(f.Pos()) {
+						a.reportf(f.Pos(), "%s passes %s by value; the lock state is copied — use a pointer", what, lockDesc(t))
+					}
+				}
+			}
+			check(n.Recv, "receiver")
+			if n.Type.Params != nil {
+				check(n.Type.Params, "parameter")
+			}
+		case *ast.AssignStmt:
+			allBlank := true
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				break // `_ = v` stores nothing; no lock state is forked
+			}
+			for _, rhs := range n.Rhs {
+				t := info.TypeOf(rhs)
+				if t != nil && containsLock(t) && isCopySource(rhs) && !a.exempt(n.Pos()) {
+					a.reportf(n.Pos(), "assignment copies %s; the lock state is forked — use a pointer", lockDesc(t))
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				t := info.TypeOf(v)
+				if t != nil && containsLock(t) && isCopySource(v) && !a.exempt(n.Pos()) {
+					a.reportf(n.Pos(), "declaration copies %s; the lock state is forked — use a pointer", lockDesc(t))
+				}
+			}
+		case *ast.RangeStmt:
+			var elem ast.Expr
+			if n.Value != nil {
+				elem = n.Value
+			} else if n.Key != nil {
+				if rt := info.TypeOf(n.X); rt != nil {
+					if _, isChan := rt.Underlying().(*types.Chan); isChan {
+						elem = n.Key
+					}
+				}
+			}
+			if elem != nil {
+				if t := info.TypeOf(elem); t != nil && containsLock(t) && !a.exempt(n.Pos()) {
+					a.reportf(n.Pos(), "range copies %s per element; iterate by index or use pointer elements", lockDesc(t))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				t := info.TypeOf(r)
+				if t != nil && containsLock(t) && isCopySource(r) && !a.exempt(n.Pos()) {
+					a.reportf(n.Pos(), "return copies %s; the lock state is forked — return a pointer", lockDesc(t))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- Facts + cycles ---------------------------------------------------
+
+func (a *analysis) exportFacts() {
+	// Object facts: acquisition closures for addressable functions.
+	var fns []*types.Func
+	for fn := range a.acq {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		if len(a.acq[fn]) == 0 {
+			continue
+		}
+		if _, ok := vet.ObjectPath(fn); !ok {
+			continue
+		}
+		a.pass.ExportObjectFact(fn, &AcquiresFact{Locks: a.acq[fn]})
+	}
+	// Package fact: deduped order pairs.
+	seen := map[[2]string]bool{}
+	var pairs [][2]string
+	for _, p := range a.pairs {
+		key := [2]string{p.from, p.to}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	if len(pairs) > 0 {
+		a.pass.ExportPackageFact(&LockOrderFact{Pairs: pairs})
+	}
+}
+
+// detectCycles merges order pairs from the dependency closure with
+// local pairs and reports every local acquisition that closes a
+// cycle: B acquired while holding A, where B already reaches A.
+func (a *analysis) detectCycles() {
+	succ := map[string][]string{}
+	add := func(from, to string) {
+		succ[from] = append(succ[from], to)
+	}
+	for _, pf := range a.pass.AllPackageFacts() {
+		if lof, ok := pf.Fact.(*LockOrderFact); ok {
+			for _, p := range lof.Pairs {
+				add(p[0], p[1])
+			}
+		}
+	}
+	// Local pairs are already exported (AllPackageFacts includes this
+	// package); reaching here they are in succ. Check each local
+	// acquisition site.
+	reported := map[[2]string]bool{}
+	for _, p := range a.pairs {
+		key := [2]string{p.from, p.to}
+		if reported[key] || a.exempt(p.pos) {
+			continue
+		}
+		if path := reaches(succ, p.to, p.from); path != nil {
+			reported[key] = true
+			a.reportf(p.pos, "lock acquisition order cycle: %s acquired while holding %s, but elsewhere %s",
+				short(p.to), short(p.from), renderPath(pathPairs(path)))
+		}
+	}
+}
+
+// reaches returns a node path from start to goal in succ, or nil.
+func reaches(succ map[string][]string, start, goal string) []string {
+	type item struct {
+		node string
+		prev int
+	}
+	queue := []item{{start, -1}}
+	visited := map[string]bool{start: true}
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
+		if it.node == goal {
+			var rev []string
+			for j := i; j != -1; j = queue[j].prev {
+				rev = append(rev, queue[j].node)
+			}
+			path := make([]string, len(rev))
+			for k, n := range rev {
+				path[len(rev)-1-k] = n
+			}
+			return path
+		}
+		for _, next := range succ[it.node] {
+			if !visited[next] {
+				visited[next] = true
+				queue = append(queue, item{next, i})
+			}
+		}
+	}
+	return nil
+}
+
+func pathPairs(path []string) [][2]string {
+	var out [][2]string
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, [2]string{path[i], path[i+1]})
+	}
+	return out
+}
+
+func renderPath(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	parts := []string{short(pairs[0][0])}
+	for _, p := range pairs {
+		parts = append(parts, short(p[1]))
+	}
+	return strings.Join(parts, " is held while acquiring ")
+}
+
+// short strips the package path down to its last element for
+// readability: "minkowski/internal/itu.lutMu" → "itu.lutMu".
+func short(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// --- Shared helpers ---------------------------------------------------
+
+func (a *analysis) exempt(pos token.Pos) bool {
+	if d, ok := a.pass.DirectiveAt(pos, "locks-ok"); ok {
+		if d.Justification == "" {
+			// Report directly: reportf would see the directive and
+			// suppress the complaint about the directive itself.
+			a.pass.Reportf(pos, "//minkowski:locks-ok requires a justification")
+		}
+		return true
+	}
+	return false
+}
+
+func (a *analysis) reportf(pos token.Pos, format string, args ...any) {
+	if _, ok := a.pass.DirectiveAt(pos, "locks-ok"); ok {
+		// exempt() reports missing justifications at the primary
+		// check sites; here the directive simply suppresses.
+		return
+	}
+	a.pass.Reportf(pos, format, args...)
+}
+
+func sortedUnique(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func calleeFunc(pass *vet.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

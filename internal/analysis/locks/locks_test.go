@@ -1,0 +1,19 @@
+package locks_test
+
+import (
+	"testing"
+
+	"minkowski/internal/analysis/locks"
+	"minkowski/internal/analysis/vet"
+)
+
+func TestLocksDiscipline(t *testing.T) {
+	vet.RunWant(t, locks.Analyzer, "lockstest")
+}
+
+// TestLocksCrossPackageOrder loads a two-package chain: pa exports
+// acquisition facts, pb closes an acquisition-order cycle against
+// them. Dependencies are listed before dependents so the facts flow.
+func TestLocksCrossPackageOrder(t *testing.T) {
+	vet.RunWant(t, locks.Analyzer, "factlock/pa", "factlock/pb")
+}

@@ -1,0 +1,25 @@
+// Package pa is the upstream half of the cross-package lock-order
+// suite: it owns MuA and exports (via an AcquiresFact) that LockA
+// acquires it. Package pb closes an ordering cycle against it.
+package pa
+
+import "sync"
+
+// MuA is this package's lock.
+var MuA sync.Mutex
+
+var state int
+
+// LockA mutates state under MuA. Its acquisition set {pa.MuA} is
+// exported as an object fact for downstream callers.
+func LockA() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	state++
+}
+
+// LockAIndirect acquires MuA only through LockA; the fact fixpoint
+// must still attribute {pa.MuA} to it.
+func LockAIndirect() {
+	LockA()
+}

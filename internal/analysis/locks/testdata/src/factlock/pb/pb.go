@@ -1,0 +1,49 @@
+// Package pb imports pa and acquires locks in both orders — MuA then
+// MuB directly, and MuB then (via pa.LockA's imported AcquiresFact)
+// MuA — closing a cross-package acquisition-order cycle the analyzer
+// must report at both sites.
+package pb
+
+import (
+	"sync"
+
+	"factlock/pa"
+)
+
+// MuB is this package's lock.
+var MuB sync.Mutex
+
+var state int
+
+// AThenB acquires pa.MuA then MuB: the A→B half of the cycle.
+func AThenB() {
+	pa.MuA.Lock()
+	defer pa.MuA.Unlock()
+	MuB.Lock() // want `lock acquisition order cycle: pb\.MuB acquired while holding pa\.MuA`
+	defer MuB.Unlock()
+	state++
+}
+
+// BThenA holds MuB while calling pa.LockA, whose imported fact says it
+// acquires pa.MuA: the B→A half, seen only through the fact layer.
+func BThenA() {
+	MuB.Lock()
+	defer MuB.Unlock()
+	pa.LockA() // want `lock acquisition order cycle: pa\.MuA acquired while holding pb\.MuB`
+}
+
+// BThenAIndirect goes through pa.LockAIndirect, exercising the
+// transitive closure inside pa. Same cycle, already reported for the
+// (MuB, MuA) pair at the first site; dedup keeps this silent.
+func BThenAIndirect() {
+	MuB.Lock()
+	defer MuB.Unlock()
+	pa.LockAIndirect()
+}
+
+// Consistent acquires only MuB: no ordering conflict.
+func Consistent() {
+	MuB.Lock()
+	defer MuB.Unlock()
+	state++
+}

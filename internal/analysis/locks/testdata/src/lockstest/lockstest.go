@@ -1,0 +1,140 @@
+// Package lockstest exercises the locks analyzer: copies, discipline
+// (unlock-without-lock, missing unlock on early return, self-deadlock),
+// and //minkowski:locks-ok suppression.
+package lockstest
+
+import "sync"
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+// Guarded bundles a mutex with its data; copying it forks the lock.
+type Guarded struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// --- Copies ----------------------------------------------------------
+
+func byValueParam(g Guarded) int { // want `parameter passes sync\.Mutex by value`
+	return g.N
+}
+
+func (g Guarded) Get() int { // want `receiver passes sync\.Mutex by value`
+	return g.N
+}
+
+func assignCopy(g *Guarded) {
+	h := *g // want `assignment copies sync\.Mutex`
+	_ = h
+}
+
+func declCopy(g *Guarded) {
+	var h Guarded = *g // want `declaration copies sync\.Mutex`
+	_ = h
+}
+
+func rangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies sync\.Mutex per element`
+		total += g.N
+	}
+	return total
+}
+
+func returnCopy(g *Guarded) Guarded {
+	return *g // want `return copies sync\.Mutex`
+}
+
+func okPointerParam(g *Guarded) int { // pointers never copy lock state
+	g.Mu.Lock()
+	defer g.Mu.Unlock()
+	return g.N
+}
+
+func okFreshValue() Guarded {
+	return Guarded{N: 1} // composite literal: a fresh lock, not a copy
+}
+
+func okAnnotatedCopy(g *Guarded) {
+	//minkowski:locks-ok snapshot of a quiescent value under test
+	h := *g
+	_ = h
+}
+
+func emptyJustification(g *Guarded) {
+	//minkowski:locks-ok
+	h := *g // want `locks-ok requires a justification`
+	_ = h
+}
+
+// --- Discipline ------------------------------------------------------
+
+func unlockWithoutLock() {
+	mu.Unlock() // want `mu\.Unlock without a preceding Lock in this function`
+}
+
+func missingUnlockOnEarlyReturn(fail bool) error {
+	mu.Lock()
+	if fail {
+		return errFail // want `return while holding mu \(locked at line \d+\)`
+	}
+	mu.Unlock()
+	return nil
+}
+
+func fallthroughWithoutUnlock() {
+	mu.Lock() // want `mu is locked here but not unlocked on the fall-through path`
+}
+
+func selfDeadlock() {
+	mu.Lock()
+	mu.Lock() // want `acquiring mu while already holding it .*: self-deadlock`
+	mu.Unlock()
+	mu.Unlock()
+}
+
+func okDeferred(fail bool) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if fail {
+		return errFail // deferred unlock discharges the obligation
+	}
+	return nil
+}
+
+func okBalanced() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+func okDeferredLiteral() {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+}
+
+func okReadWrite() {
+	rw.RLock()
+	defer rw.RUnlock()
+	rw2()
+}
+
+func rw2() {
+	rw.Lock() // distinct function: its own path, balanced
+	rw.Unlock()
+}
+
+func okSeparateLocks(g *Guarded) {
+	mu.Lock()
+	g.Mu.Lock()
+	g.Mu.Unlock()
+	mu.Unlock()
+}
+
+var errFail = errString("fail")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -47,7 +47,7 @@ var SinkPackages = []string{
 	"minkowski/internal/telemetry",
 }
 
-func run(pass *vet.Pass) error {
+func run(pass *vet.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -57,7 +57,7 @@ func run(pass *vet.Pass) error {
 			checkFunc(pass, fn)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {
@@ -75,16 +75,22 @@ func checkFunc(pass *vet.Pass, fn *ast.FuncDecl) {
 			}
 			return true
 		}
-		for _, reason := range orderSensitiveEffects(pass, fn, rng) {
+		for _, reason := range OrderSensitiveEffects(pass, fn.Body, rng) {
 			pass.Reportf(rng.Pos(), "map iteration order is random but the loop body %s; sort the keys first or annotate //minkowski:unordered-ok <why>", reason)
 		}
 		return true
 	})
 }
 
-// orderSensitiveEffects scans a map-range body for effects whose
-// outcome depends on iteration order.
-func orderSensitiveEffects(pass *vet.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) []string {
+// OrderSensitiveEffects scans a map-range body for effects whose
+// outcome depends on iteration order: appends to slices declared
+// outside the loop (unless sorted later within enclosing), channel
+// sends, and calls into SinkPackages. enclosing is the body of the
+// function (or literal) containing rng, used to spot the
+// collect-then-sort idiom. Exported for reuse: the dettaint analyzer
+// applies the same judgment to map ranges reached from hotpath roots
+// in other packages.
+func OrderSensitiveEffects(pass *vet.Pass, enclosing ast.Node, rng *ast.RangeStmt) []string {
 	var reasons []string
 	seen := map[string]bool{}
 	add := func(r string) {
@@ -116,7 +122,7 @@ func orderSensitiveEffects(pass *vet.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt)
 				if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
 					continue
 				}
-				if sortedAfter(pass, fn, rng, obj) {
+				if sortedAfter(pass, enclosing, rng, obj) {
 					continue
 				}
 				add("appends to " + obj.Name() + " (declared outside the loop, never sorted)")
@@ -165,9 +171,9 @@ func assignedObject(pass *vet.Pass, lhs ast.Expr) types.Object {
 // sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
 // call after the range statement, anywhere in the enclosing function —
 // the collect-then-sort idiom that makes a map sweep deterministic.
-func sortedAfter(pass *vet.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+func sortedAfter(pass *vet.Pass, enclosing ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
 	found := false
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(enclosing, func(n ast.Node) bool {
 		if found {
 			return false
 		}

@@ -93,7 +93,7 @@ func suffixUnit(name string) (unit, string, bool) {
 	return unit{}, "", false
 }
 
-func run(pass *vet.Pass) error {
+func run(pass *vet.Pass) (any, error) {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -105,7 +105,7 @@ func run(pass *vet.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 func suppressed(pass *vet.Pass, pos token.Pos) bool {

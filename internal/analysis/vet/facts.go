@@ -1,0 +1,364 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// This file is the fact layer: typed values analyzers attach to
+// objects or packages so downstream passes — other packages,
+// processed later in dependency order — can import them. It mirrors
+// the x/tools analysis.Fact design: facts are gob-serialized next to
+// the export data the loader already consumes, so a fact survives the
+// same boundary a type does. The driver round-trips every package's
+// facts through the encoder after its pass runs; an unencodable fact
+// is an analyzer bug surfaced immediately, not when a future cached
+// build deserializes it.
+
+// Fact is a typed datum exported by an analyzer for one object or
+// package. Implementations must be pointers to gob-encodable structs;
+// the AFact marker method keeps arbitrary types from being smuggled
+// into the store.
+type Fact interface{ AFact() }
+
+// ObjectFact pairs an exported fact with the package-path + object
+// path of the object it is attached to.
+type ObjectFact struct {
+	PkgPath string
+	ObjPath string
+	Fact    Fact
+}
+
+// PackageFact pairs an exported fact with its package path.
+type PackageFact struct {
+	PkgPath string
+	Fact    Fact
+}
+
+// ObjectPath encodes a package-level object, or a method of a
+// package-level named type, as a string stable across the
+// source-check / export-data boundary (a minimal objectpath). It
+// returns ok=false for objects facts cannot be attached to (locals,
+// struct fields, interface methods of unnamed types).
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	// Package-level object.
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	// Method on a named type (possibly via pointer receiver).
+	if fn, ok := obj.(*types.Func); ok {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveObjectPath is the inverse of ObjectPath within one package.
+func resolveObjectPath(pkg *types.Package, path string) types.Object {
+	if pkg == nil {
+		return nil
+	}
+	if tname, mname, isMethod := cut(path); isMethod {
+		tobj := pkg.Scope().Lookup(tname)
+		if tobj == nil {
+			return nil
+		}
+		obj, _, _ := types.LookupFieldOrMethod(tobj.Type(), true, pkg, mname)
+		return obj
+	}
+	return pkg.Scope().Lookup(path)
+}
+
+func cut(path string) (a, b string, ok bool) {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			return path[:i], path[i+1:], true
+		}
+	}
+	return path, "", false
+}
+
+// FactStore accumulates facts for one driver run, keyed by analyzer
+// then package path. Facts are stored under their (pkg, objpath)
+// string key, so lookups work identically whether the object in hand
+// came from a source-checked package or from export data.
+type FactStore struct {
+	byAnalyzer map[string]*analyzerFacts
+}
+
+type analyzerFacts struct {
+	types   map[string]reflect.Type // fact type name -> concrete type
+	byPkg   map[string]*pkgFacts
+	ordered []string // pkg paths in insertion order (for AllFacts determinism)
+}
+
+type pkgFacts struct {
+	object map[string][]Fact // obj path -> facts
+	pkg    []Fact
+}
+
+// NewFactStore creates an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{byAnalyzer: map[string]*analyzerFacts{}}
+}
+
+func (s *FactStore) forAnalyzer(a *Analyzer) *analyzerFacts {
+	af, ok := s.byAnalyzer[a.Name]
+	if !ok {
+		af = &analyzerFacts{types: map[string]reflect.Type{}, byPkg: map[string]*pkgFacts{}}
+		for _, proto := range a.FactTypes {
+			t := reflect.TypeOf(proto)
+			if t == nil || t.Kind() != reflect.Pointer {
+				panic(fmt.Sprintf("vet: analyzer %s registers non-pointer fact type %T", a.Name, proto))
+			}
+			af.types[t.Elem().Name()] = t
+		}
+		s.byAnalyzer[a.Name] = af
+	}
+	return af
+}
+
+func (af *analyzerFacts) forPkg(pkgPath string) *pkgFacts {
+	pf, ok := af.byPkg[pkgPath]
+	if !ok {
+		pf = &pkgFacts{object: map[string][]Fact{}}
+		af.byPkg[pkgPath] = pf
+		af.ordered = append(af.ordered, pkgPath)
+	}
+	return pf
+}
+
+// encodedFact is the gob wire shape of one fact.
+type encodedFact struct {
+	ObjPath  string // "" for package facts
+	FactType string
+	Data     []byte
+}
+
+// EncodePackage serializes every fact the analyzer exported for one
+// package. The byte stream is the same shape a persistent vet cache
+// would write next to the package's export data.
+func (s *FactStore) EncodePackage(a *Analyzer, pkgPath string) ([]byte, error) {
+	af := s.forAnalyzer(a)
+	pf := af.byPkg[pkgPath]
+	var encoded []encodedFact
+	if pf != nil {
+		var paths []string
+		for p := range pf.object {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			for _, f := range pf.object[p] {
+				data, err := encodeFact(f)
+				if err != nil {
+					return nil, fmt.Errorf("analyzer %s, object %s.%s: %v", a.Name, pkgPath, p, err)
+				}
+				encoded = append(encoded, encodedFact{ObjPath: p, FactType: factTypeName(f), Data: data})
+			}
+		}
+		for _, f := range pf.pkg {
+			data, err := encodeFact(f)
+			if err != nil {
+				return nil, fmt.Errorf("analyzer %s, package %s: %v", a.Name, pkgPath, err)
+			}
+			encoded = append(encoded, encodedFact{FactType: factTypeName(f), Data: data})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(encoded); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePackage replaces the analyzer's facts for pkgPath with the
+// decoded contents of data (produced by EncodePackage).
+func (s *FactStore) DecodePackage(a *Analyzer, pkgPath string, data []byte) error {
+	af := s.forAnalyzer(a)
+	var encoded []encodedFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&encoded); err != nil {
+		return err
+	}
+	pf := &pkgFacts{object: map[string][]Fact{}}
+	for _, ef := range encoded {
+		t, ok := af.types[ef.FactType]
+		if !ok {
+			return fmt.Errorf("analyzer %s: decoded fact type %q not in FactTypes", a.Name, ef.FactType)
+		}
+		f := reflect.New(t.Elem()).Interface().(Fact)
+		if err := gob.NewDecoder(bytes.NewReader(ef.Data)).Decode(f); err != nil {
+			return fmt.Errorf("analyzer %s: decoding %s fact: %v", a.Name, ef.FactType, err)
+		}
+		if ef.ObjPath == "" {
+			pf.pkg = append(pf.pkg, f)
+		} else {
+			pf.object[ef.ObjPath] = append(pf.object[ef.ObjPath], f)
+		}
+	}
+	if _, seen := af.byPkg[pkgPath]; !seen {
+		af.ordered = append(af.ordered, pkgPath)
+	}
+	af.byPkg[pkgPath] = pf
+	return nil
+}
+
+// RoundTrip encodes then re-decodes the analyzer's facts for pkgPath
+// in place. The driver calls it after every pass so a fact that does
+// not survive serialization fails the run at the package that
+// exported it.
+func (s *FactStore) RoundTrip(a *Analyzer, pkgPath string) error {
+	data, err := s.EncodePackage(a, pkgPath)
+	if err != nil {
+		return err
+	}
+	return s.DecodePackage(a, pkgPath, data)
+}
+
+func encodeFact(f Fact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).Elem().Name() }
+
+// passFacts binds a FactStore to one (analyzer, package) pass.
+type passFacts struct {
+	store   *FactStore
+	a       *Analyzer
+	pkgPath string
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the
+// package under analysis and be addressable by ObjectPath.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("vet: analyzer %s exports facts but declares no FactTypes", p.Analyzer.Name))
+	}
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.facts.pkgPath {
+		panic(fmt.Sprintf("vet: analyzer %s exports fact for object %v outside the package under analysis", p.Analyzer.Name, obj))
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		panic(fmt.Sprintf("vet: analyzer %s exports fact for non-addressable object %v", p.Analyzer.Name, obj))
+	}
+	pf := p.facts.store.forAnalyzer(p.Analyzer).forPkg(p.facts.pkgPath)
+	pf.object[path] = append(pf.object[path], fact)
+}
+
+// ImportObjectFact copies into fact the fact of the same concrete
+// type previously exported for obj (by this pass or by the pass over
+// the package that declares obj). It reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	pf := p.facts.store.forAnalyzer(p.Analyzer).byPkg[obj.Pkg().Path()]
+	if pf == nil {
+		return false
+	}
+	return copyFact(pf.object[path], fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		panic(fmt.Sprintf("vet: analyzer %s exports facts but declares no FactTypes", p.Analyzer.Name))
+	}
+	pf := p.facts.store.forAnalyzer(p.Analyzer).forPkg(p.facts.pkgPath)
+	pf.pkg = append(pf.pkg, fact)
+}
+
+// ImportPackageFact copies into fact the package fact of the same
+// concrete type exported for pkg, reporting whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	pf := p.facts.store.forAnalyzer(p.Analyzer).byPkg[pkg.Path()]
+	if pf == nil {
+		return false
+	}
+	return copyFact(pf.pkg, fact)
+}
+
+// AllPackageFacts returns every package fact visible to this pass, in
+// deterministic (package-insertion, i.e. dependency) order. The
+// cross-package aggregators (lock-order cycle detection) use it to
+// merge facts from the whole dependency closure.
+func (p *Pass) AllPackageFacts() []PackageFact {
+	if p.facts == nil {
+		return nil
+	}
+	af := p.facts.store.forAnalyzer(p.Analyzer)
+	var out []PackageFact
+	for _, pkgPath := range af.ordered {
+		for _, f := range af.byPkg[pkgPath].pkg {
+			out = append(out, PackageFact{PkgPath: pkgPath, Fact: f})
+		}
+	}
+	return out
+}
+
+// AllObjectFacts returns every object fact visible to this pass, in
+// deterministic order.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	af := p.facts.store.forAnalyzer(p.Analyzer)
+	var out []ObjectFact
+	for _, pkgPath := range af.ordered {
+		pf := af.byPkg[pkgPath]
+		var paths []string
+		for path := range pf.object {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			for _, f := range pf.object[path] {
+				out = append(out, ObjectFact{PkgPath: pkgPath, ObjPath: path, Fact: f})
+			}
+		}
+	}
+	return out
+}
+
+// copyFact assigns the first fact in list whose concrete type matches
+// dst through the pointer dst, reporting success.
+func copyFact(list []Fact, dst Fact) bool {
+	dv := reflect.ValueOf(dst)
+	if dv.Kind() != reflect.Pointer {
+		return false
+	}
+	for _, f := range list {
+		fv := reflect.ValueOf(f)
+		if fv.Type() == dv.Type() {
+			dv.Elem().Set(fv.Elem())
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package vet_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+
+	"minkowski/internal/analysis/vet"
+)
+
+// markFact is a trivial serializable fact for the chain test.
+type markFact struct{ Mark string }
+
+func (*markFact) AFact() {}
+
+// badFact cannot survive gob; exporting it must fail the run at the
+// exporting package, not at a later decode.
+type badFact struct{ Ch chan int }
+
+func (*badFact) AFact() {}
+
+// TestFactChainAcrossImport runs a fact-exporting analyzer over a
+// two-package import chain (fa, then fb which imports it): the fact
+// attached to fa.F while analyzing fa must be importable through the
+// callee object seen while analyzing fb. The Runner round-trips every
+// package's facts through the gob encoder after its pass, so a
+// successful import here also proves the fact survived serialization.
+func TestFactChainAcrossImport(t *testing.T) {
+	imported := map[string]string{} // importing pkg -> mark found on callee
+	analyzer := &vet.Analyzer{
+		Name:      "marktest",
+		Doc:       "test fact flow across an import chain",
+		FactTypes: []vet.Fact{&markFact{}},
+		Run: func(pass *vet.Pass) (any, error) {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok && n.Recv == nil {
+							pass.ExportObjectFact(obj, &markFact{Mark: pass.Pkg.Path() + ":" + obj.Name()})
+						}
+					case *ast.SelectorExpr:
+						if callee, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok && callee.Pkg() != nil && callee.Pkg() != pass.Pkg {
+							var f markFact
+							if pass.ImportObjectFact(callee, &f) {
+								imported[pass.Pkg.Path()] = f.Mark
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+
+	root, err := vet.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := vet.NewLoader(root)
+	fa := loadTestdata(t, loader, "factchain/fa")
+	fb := loadTestdata(t, loader, "factchain/fb")
+	runner := vet.NewRunner([]*vet.Package{fa, fb})
+	for _, pkg := range []*vet.Package{fa, fb} {
+		if _, err := runner.Run(analyzer, pkg); err != nil {
+			t.Fatalf("run on %s: %v", pkg.PkgPath, err)
+		}
+	}
+	if got, want := imported["factchain/fb"], "factchain/fa:F"; got != want {
+		t.Errorf("fb imported fact %q for fa.F, want %q", got, want)
+	}
+
+	// Encoding is deterministic: a second round-trip must be
+	// byte-identical to the first encoding.
+	data1, err := runner.Store.EncodePackage(analyzer, "factchain/fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Store.RoundTrip(analyzer, "factchain/fa"); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := runner.Store.EncodePackage(analyzer, "factchain/fa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Errorf("fact encoding not stable across a round-trip: %d vs %d bytes", len(data1), len(data2))
+	}
+}
+
+// TestUnencodableFactFailsAtExport pins the round-trip-on-every-run
+// contract: a fact gob cannot encode fails the exporting package's
+// pass immediately.
+func TestUnencodableFactFailsAtExport(t *testing.T) {
+	analyzer := &vet.Analyzer{
+		Name:      "badfact",
+		Doc:       "exports an unencodable fact",
+		FactTypes: []vet.Fact{&badFact{}},
+		Run: func(pass *vet.Pass) (any, error) {
+			pass.ExportPackageFact(&badFact{})
+			return nil, nil
+		},
+	}
+	pkg := loadTestdata(t, nil, "factchain/fa")
+	if _, err := vet.RunPackage(analyzer, pkg); err == nil || !strings.Contains(err.Error(), "round-trip") {
+		t.Errorf("unencodable fact: err = %v, want serialization round-trip failure", err)
+	}
+}
+
+// TestObjectPath covers the fact-addressing scheme: package-level
+// objects by name, methods as Type.Method, locals unaddressable.
+func TestObjectPath(t *testing.T) {
+	pkg := loadTestdata(t, nil, "graphtest")
+	scope := pkg.Types.Scope()
+
+	if p, ok := vet.ObjectPath(scope.Lookup("Total")); !ok || p != "Total" {
+		t.Errorf("ObjectPath(Total) = %q, %v", p, ok)
+	}
+	circle := scope.Lookup("Circle").Type().(*types.Named)
+	var area types.Object
+	for i := 0; i < circle.NumMethods(); i++ {
+		if circle.Method(i).Name() == "Area" {
+			area = circle.Method(i)
+		}
+	}
+	if p, ok := vet.ObjectPath(area); !ok || p != "Circle.Area" {
+		t.Errorf("ObjectPath(Circle.Area) = %q, %v", p, ok)
+	}
+	if _, ok := vet.ObjectPath(nil); ok {
+		t.Error("ObjectPath(nil) should not be addressable")
+	}
+}

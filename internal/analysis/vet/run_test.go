@@ -1,0 +1,65 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"minkowski/internal/analysis/vet"
+)
+
+// TestRequiresAndResultOf checks the dependency machinery: a required
+// analyzer runs first (once, memoized) and its result is visible in
+// ResultOf.
+func TestRequiresAndResultOf(t *testing.T) {
+	baseRuns := 0
+	base := &vet.Analyzer{
+		Name: "base",
+		Doc:  "produces a result",
+		Run: func(*vet.Pass) (any, error) {
+			baseRuns++
+			return 42, nil
+		},
+	}
+	var got any
+	dep := &vet.Analyzer{
+		Name:     "dep",
+		Doc:      "consumes base's result",
+		Requires: []*vet.Analyzer{base},
+		Run: func(pass *vet.Pass) (any, error) {
+			got = pass.ResultOf[base]
+			return nil, nil
+		},
+	}
+
+	pkg := loadTestdata(t, nil, "graphtest")
+	runner := vet.NewRunner([]*vet.Package{pkg})
+	// Run base explicitly, then dep: the required unit is memoized.
+	if _, err := runner.Run(base, pkg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run(dep, pkg); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("ResultOf[base] = %v, want 42", got)
+	}
+	if baseRuns != 1 {
+		t.Errorf("base ran %d times, want 1 (memoized)", baseRuns)
+	}
+}
+
+// TestRequiresCycle checks that a Requires cycle is an error, not a
+// hang.
+func TestRequiresCycle(t *testing.T) {
+	a := &vet.Analyzer{Name: "cyca", Doc: "half a cycle",
+		Run: func(*vet.Pass) (any, error) { return nil, nil }}
+	b := &vet.Analyzer{Name: "cycb", Doc: "other half",
+		Requires: []*vet.Analyzer{a},
+		Run:      func(*vet.Pass) (any, error) { return nil, nil }}
+	a.Requires = []*vet.Analyzer{b}
+
+	pkg := loadTestdata(t, nil, "graphtest")
+	if _, err := vet.RunPackage(a, pkg); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("Requires cycle: err = %v, want cycle error", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build minkowski_never_set_tag
+
+// This file is excluded by its build constraint on every load. It
+// deliberately does not type-check: if the loader ever includes it,
+// the test sees the type error.
+package buildtags
+
+const Broken = definitelyUndefinedIdentifier

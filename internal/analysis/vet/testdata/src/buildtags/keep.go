@@ -1,0 +1,7 @@
+// Package buildtags is loader testdata: exactly one of the tag_*.go
+// files matches any GOOS, the excluded files do not type-check, and
+// the package as a whole must load cleanly anyway.
+package buildtags
+
+// Tagged proves the GOOS-matched file was selected.
+func Tagged() string { return OSTag }

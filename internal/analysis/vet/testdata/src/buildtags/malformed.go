@@ -1,0 +1,8 @@
+//go:build &&(
+
+// A malformed build constraint must exclude the file without
+// panicking the loader. Like excluded.go, this file is type-broken on
+// purpose so accidental inclusion is visible.
+package buildtags
+
+const AlsoBroken = anotherUndefinedIdentifier

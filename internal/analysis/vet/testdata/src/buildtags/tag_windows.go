@@ -1,0 +1,4 @@
+package buildtags
+
+// OSTag identifies which GOOS-suffixed file was loaded.
+const OSTag = "windows"

@@ -1,0 +1,33 @@
+// Package dirtest exercises DirectivesAnalyzer: malformed or unknown
+// //minkowski: directives are findings, well-formed ones are not.
+package dirtest
+
+func known() {
+	//minkowski:unordered-ok commutative fold, order-free by construction
+	_ = 1
+}
+
+func unknownName() {
+	//minkowski:unorderd-ok typo must not silently suppress // want `unknown directive`
+	_ = 1
+}
+
+func upperName() {
+	//minkowski:Hotpath case matters // want `must start with a lowercase letter`
+	_ = 1
+}
+
+func badChar() {
+	//minkowski:units_ok underscores are not in the grammar // want `invalid character`
+	_ = 1
+}
+
+func emptyName() {
+	//minkowski: // want `empty name`
+	_ = 1
+}
+
+func notADirective() {
+	// minkowski:hotpath — a space after // is prose, not a directive
+	_ = 1
+}

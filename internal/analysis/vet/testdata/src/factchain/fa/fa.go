@@ -1,0 +1,5 @@
+// Package fa is the upstream end of the fact-chain testdata.
+package fa
+
+// F is the function the downstream package imports a fact for.
+func F() int { return 1 }

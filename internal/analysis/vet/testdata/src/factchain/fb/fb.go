@@ -1,0 +1,8 @@
+// Package fb imports fa: a fact exported while analyzing fa must be
+// importable here through the callee's object.
+package fb
+
+import "factchain/fa"
+
+// G calls across the package boundary.
+func G() int { return fa.F() + 1 }

@@ -113,6 +113,13 @@ func ModuleRoot() (string, error) {
 // RunWant loads testdata/src/<pkg> for each named package (relative
 // to the current test's directory), applies the analyzer, and checks
 // its diagnostics against the `// want` expectations.
+//
+// All named packages are loaded up front and analyzed in the given
+// order through one shared Runner: the call graph spans the whole
+// set, and facts exported while analyzing an earlier package are
+// importable while analyzing a later one. A testdata package may
+// import an earlier one by its bare name (the fact-chain and
+// lock-order suites do), so list dependencies before dependents.
 func RunWant(t TB, a *Analyzer, pkgs ...string) {
 	t.Helper()
 	root, err := ModuleRoot()
@@ -121,6 +128,7 @@ func RunWant(t TB, a *Analyzer, pkgs ...string) {
 	}
 	cwd, _ := os.Getwd()
 	loader := NewLoader(root)
+	var loaded []*Package
 	for _, name := range pkgs {
 		dir := filepath.Join(cwd, "testdata", "src", name)
 		pkg, err := loader.LoadDir(name, dir)
@@ -130,9 +138,13 @@ func RunWant(t TB, a *Analyzer, pkgs ...string) {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("vettest: %s does not type-check: %v", name, terr)
 		}
-		diags, err := RunPackage(a, pkg)
+		loaded = append(loaded, pkg)
+	}
+	runner := NewRunner(loaded)
+	for _, pkg := range loaded {
+		diags, err := runner.Run(a, pkg)
 		if err != nil {
-			t.Fatalf("vettest: %s on %s: %v", a.Name, name, err)
+			t.Fatalf("vettest: %s on %s: %v", a.Name, pkg.PkgPath, err)
 		}
 		var exps []expectation
 		for _, f := range pkg.Files {

@@ -603,6 +603,7 @@ func (e *Evaluator) bruteForceGraph(xcvrs []*platform.Transceiver, lead float64)
 func (e *Evaluator) workerCount(items int) int {
 	workers := e.cfg.Parallelism
 	if workers <= 0 {
+		//minkowski:dettaint-ok read once per fan-out entry; workers write disjoint slots and results merge in index order, so output is byte-identical for any value
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > items {

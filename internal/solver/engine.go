@@ -331,6 +331,7 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 	c := &s.c
 	maxW := s.cfg.Workers
 	if maxW <= 0 {
+		//minkowski:dettaint-ok read once at solve entry and frozen in c.reset; worker count only shards work and the merge is order-fixed, so plans are byte-identical for any value
 		maxW = runtime.GOMAXPROCS(0)
 	}
 	c.reset(s.cfg, in, maxW)
