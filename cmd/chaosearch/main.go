@@ -37,6 +37,8 @@ func main() {
 		prefix  = flag.Bool("prefix", false, "run with the pre-fix compat knobs (symmetric in-band, no telemetry guard, no epoch fencing)")
 		budget  = flag.Int("shrink-budget", search.DefaultShrinkBudget, "max candidate runs per shrink")
 		kindsCS = flag.String("kinds", "", "comma-separated fault kinds to restrict the grammar to (default all)")
+		guided  = flag.Bool("guided", false, "mutate low-margin elite scripts toward invariant boundaries instead of sampling blind")
+		mutateB = flag.Int("mutate-budget", 0, "max trials spent on mutants in guided mode (default trials/2)")
 	)
 	flag.Parse()
 	if *scale < 1 || *scale > 3 {
@@ -59,6 +61,7 @@ func main() {
 		Seed: *seed, Trials: *trials, Scale: *scale, Hours: *hours,
 		Workers: *workers, Opts: search.Options{PreFix: *prefix},
 		ShrinkBudget: *budget, Kinds: kinds,
+		Guided: *guided, MutateBudget: *mutateB,
 	})
 
 	b, err := json.MarshalIndent(rep, "", "  ")
@@ -81,6 +84,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chaosearch: trial %d (seed %d) violated %v but did not shrink: %s\n",
 				r.Trial, r.Seed, r.Violations[0].Invariant, r.Error)
 		}
+	}
+	if rep.Guided {
+		fmt.Fprintf(os.Stderr, "chaosearch: guided mode ran %d mutants (budget %d)\n", rep.Mutants, rep.MutateBudget)
 	}
 	fmt.Fprintf(os.Stderr, "chaosearch: %d/%d trials violating (%d signature groups, %d skipped as duplicates), %d shrunk reproducers\n",
 		rep.Violating, rep.Trials, rep.DedupGroups, rep.DedupSkipped, rep.Shrunk)

@@ -69,6 +69,13 @@ type Agent struct {
 	// to the frontend as the node's self-reported state (position
 	// telemetry). A byzantine node's report lies.
 	StateReport func() interface{}
+	// minSyncSlackS is the smallest arrival headroom (TTE − arrival
+	// time, seconds) observed on any ACCEPTED sync-required command —
+	// the continuous near-miss signal behind the late-sync-enactment
+	// invariant: a run whose worst slack approached zero almost lost a
+	// command to the receive guard. hasSyncSlack marks it valid.
+	minSyncSlackS float64
+	hasSyncSlack  bool
 }
 
 // AgentConfig tunes agent behaviour.
@@ -179,6 +186,15 @@ func (a *Agent) receive(cmd *Command, via Channel) {
 		}
 		if cmd.Epoch > a.highestEpoch {
 			a.highestEpoch = cmd.Epoch
+		}
+	}
+	if cmd.TTE > 0 && cmd.Kind.RequiresSync() {
+		// Accepted sync command: record how close its arrival came to
+		// the TTE boundary (the receive guard above drops the ones that
+		// actually crossed it).
+		if slack := cmd.TTE - now; !a.hasSyncSlack || slack < a.minSyncSlackS {
+			a.minSyncSlackS = slack
+			a.hasSyncSlack = true
 		}
 	}
 	enactAt := now

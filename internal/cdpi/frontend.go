@@ -432,6 +432,24 @@ func (fe *Frontend) EpochRegressions() int {
 	return total
 }
 
+// MinSyncSlack returns the fleet-wide minimum arrival headroom (TTE −
+// arrival time, seconds) over all accepted sync-required commands, and
+// whether any were observed. It is the continuous margin behind the
+// late-sync-enactment invariant: the smaller the worst slack, the
+// closer the run came to losing a sync command to the receive guard.
+// (Minimum over the agent map is order-independent, so iteration order
+// cannot leak into the result.)
+func (fe *Frontend) MinSyncSlack() (float64, bool) {
+	min, seen := 0.0, false
+	for _, a := range fe.agents {
+		if a.hasSyncSlack && (!seen || a.minSyncSlackS < min) {
+			min = a.minSyncSlackS
+			seen = true
+		}
+	}
+	return min, seen
+}
+
 // SuccessfulEnactments filters the log by kind and success.
 func (fe *Frontend) SuccessfulEnactments(k Kind) []Enactment {
 	var out []Enactment

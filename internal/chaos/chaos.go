@@ -75,6 +75,23 @@ const (
 	// lapses; epoch fencing at the agents is what must stop the
 	// deposed ex-leader from causing split-brain double-enactment.
 	ControllerPartition
+	// LeaseFlap makes the leadership lease cell ITSELF unreliable for
+	// the duration: every Acquire and Renew request is dropped (reads
+	// keep working). If the window outlasts the lease TTL the acting
+	// primary's lease lapses with the process perfectly healthy, and
+	// nobody — primary or standby — can take a fresh lease until the
+	// cell heals. The single-leader and bounded-promotion properties
+	// must degrade gracefully rather than split the brain.
+	LeaseFlap
+	// ReplicaPartition deafens the command path of ONE controller
+	// replica: commands that replica dispatches toward the CDPI
+	// frontend are lost for the duration, while its lease traffic,
+	// replication stream, and telemetry ingestion keep working. Target
+	// is the replica name ("ctl-a", "ctl-b"). Applied to a deposed
+	// rogue this is the "rogue with reduced dispatch reach" case;
+	// applied to the acting primary it is a live controller that can
+	// see but not steer.
+	ReplicaPartition
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +119,10 @@ func (k Kind) String() string {
 		return "controller-failover"
 	case ControllerPartition:
 		return "controller-partition"
+	case LeaseFlap:
+		return "lease-flap"
+	case ReplicaPartition:
+		return "replica-partition"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -114,6 +135,7 @@ func Kinds() []Kind {
 		AgentReboot, TelemetryStale, SolverOutage,
 		PartialPartition, ByzantineTelemetry,
 		ControllerFailover, ControllerPartition,
+		LeaseFlap, ReplicaPartition,
 	}
 }
 
@@ -216,6 +238,13 @@ type Hooks struct {
 	// the lease service and replication stream while its process stays
 	// live.
 	ControllerPartition func(isolated bool)
+	// LeaseFlap starts (active=true) or ends an unreliable-lease-cell
+	// window: while active every Acquire/Renew against the lease
+	// service is dropped.
+	LeaseFlap func(active bool)
+	// ReplicaPartition deafens (deaf=true) or heals the command path
+	// of one controller replica: commands it dispatches are lost.
+	ReplicaPartition func(replica string, deaf bool)
 }
 
 // Event records one injected transition for post-hoc analysis.
@@ -308,6 +337,14 @@ func (in *Injector) start(f Fault) {
 		if in.hooks.ControllerPartition != nil {
 			in.hooks.ControllerPartition(true)
 		}
+	case LeaseFlap:
+		if in.hooks.LeaseFlap != nil {
+			in.hooks.LeaseFlap(true)
+		}
+	case ReplicaPartition:
+		if in.hooks.ReplicaPartition != nil {
+			in.hooks.ReplicaPartition(f.Target, true)
+		}
 	}
 }
 
@@ -357,6 +394,14 @@ func (in *Injector) end(f Fault) {
 	case ControllerPartition:
 		if in.hooks.ControllerPartition != nil {
 			in.hooks.ControllerPartition(false)
+		}
+	case LeaseFlap:
+		if in.hooks.LeaseFlap != nil {
+			in.hooks.LeaseFlap(false)
+		}
+	case ReplicaPartition:
+		if in.hooks.ReplicaPartition != nil {
+			in.hooks.ReplicaPartition(f.Target, false)
 		}
 	}
 }

@@ -23,6 +23,9 @@ func balloonID(i int) string { return fmt.Sprintf("hbal-%03d", i+1) }
 // gatewayIDs are the DefaultConfig ground stations.
 func gatewayIDs() []string { return []string{"gs-nairobi", "gs-kisumu", "gs-nakuru"} }
 
+// replicaIDs are the replicated control plane's process names.
+func replicaIDs() []string { return []string{"ctl-a", "ctl-b"} }
+
 // Generate draws a random fault script from the seeded grammar: 2 to
 // 4+scale faults over the run, every chaos.Kind reachable, targets
 // drawn from the deterministic initial fleet. The rng fully
@@ -42,7 +45,6 @@ func GenerateKinds(rng *rand.Rand, seed int64, scale int, hours float64, kinds [
 		Hours: hours,
 	}
 	fleet := 6 + 5*scale
-	gws := gatewayIDs()
 	span := hours*3600 - genMinAtS - genTailS
 	if span < 600 {
 		span = 600
@@ -59,54 +61,86 @@ func GenerateKinds(rng *rand.Rand, seed int64, scale int, hours float64, kinds [
 			continue
 		}
 		perKind[k]++
-		at := genMinAtS + rng.Float64()*span
-		dur := genMinDurS + rng.Float64()*(genMaxDurS-genMinDurS)
-		f := ScriptFault{Kind: k.String(), At: at, Duration: dur}
-		switch k {
-		case chaos.ControllerCrash:
-			f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
-		case chaos.ControllerFailover, chaos.ControllerPartition:
-			// Long enough for the 30 s lease to lapse and a standby to
-			// promote while the fault still holds (short windows heal
-			// before deposition, which is legitimate but teaches
-			// nothing).
-			f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
-		case chaos.SatcomOutage:
-			f.Target = []string{"leo", "geo", "all"}[rng.Intn(3)]
-		case chaos.GatewayLoss:
-			f.Target = gws[rng.Intn(len(gws))]
-		case chaos.ManetPartition:
-			f.Target = balloonID(rng.Intn(fleet))
-		case chaos.AgentReboot:
-			f.Target = balloonID(rng.Intn(fleet))
-			f.Duration = 0 // impulse
-		case chaos.TelemetryStale, chaos.SolverOutage:
-			// no target
-		case chaos.PartialPartition:
-			// A directed edge between two distinct mesh members; a
-			// balloon → gateway direction is the interesting case (it
-			// silences the node's uplink), so bias toward it.
-			from := balloonID(rng.Intn(fleet))
-			var to string
-			if rng.Float64() < 0.5 {
-				to = gws[rng.Intn(len(gws))]
-			} else {
-				to = balloonID(rng.Intn(fleet))
-				for to == from {
-					to = balloonID(rng.Intn(fleet))
-				}
-			}
-			f.Target = from + ">" + to
-		case chaos.ByzantineTelemetry:
-			f.Target = balloonID(rng.Intn(fleet))
-			// Always a window: a byzantine fault with no end would
-			// never lift, and the grammar must generate revertible
-			// scripts.
-			if f.Duration <= 0 {
-				f.Duration = genMinDurS
-			}
-		}
-		s.Faults = append(s.Faults, f)
+		s.Faults = append(s.Faults, genFault(rng, k, fleet, span))
 	}
 	return s
+}
+
+// genFault draws one complete fault of kind k from the grammar — the
+// single-fault primitive shared by the generator loop and the mutation
+// engine's add-fault operator. span is the start-time window above
+// genMinAtS. The rng draw order (At, base duration, then per-kind
+// redraws) is part of the grammar's determinism contract.
+func genFault(rng *rand.Rand, k chaos.Kind, fleet int, span float64) ScriptFault {
+	at := genMinAtS + rng.Float64()*span
+	dur := genMinDurS + rng.Float64()*(genMaxDurS-genMinDurS)
+	f := ScriptFault{Kind: k.String(), At: at, Duration: dur}
+	switch k {
+	case chaos.ControllerCrash:
+		f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+	case chaos.ControllerFailover, chaos.ControllerPartition:
+		// Long enough for the 30 s lease to lapse and a standby to
+		// promote while the fault still holds (short windows heal
+		// before deposition, which is legitimate but teaches
+		// nothing).
+		f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+	case chaos.LeaseFlap:
+		// Same shape: the interesting flaps outlast the 30 s lease TTL
+		// so leadership actually lapses with the primary healthy.
+		f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+	case chaos.ReplicaPartition:
+		f.Target = replicaIDs()[rng.Intn(len(replicaIDs()))]
+		f.Duration = genMinDurS + rng.Float64()*(900-genMinDurS)
+	case chaos.SatcomOutage:
+		f.Target = []string{"leo", "geo", "all"}[rng.Intn(3)]
+	case chaos.GatewayLoss:
+		gws := gatewayIDs()
+		f.Target = gws[rng.Intn(len(gws))]
+	case chaos.ManetPartition:
+		f.Target = balloonID(rng.Intn(fleet))
+	case chaos.AgentReboot:
+		f.Target = balloonID(rng.Intn(fleet))
+		f.Duration = 0 // impulse
+	case chaos.TelemetryStale, chaos.SolverOutage:
+		// no target
+	case chaos.PartialPartition:
+		// A directed edge between two distinct mesh members; a
+		// balloon → gateway direction is the interesting case (it
+		// silences the node's uplink), so bias toward it.
+		gws := gatewayIDs()
+		from := balloonID(rng.Intn(fleet))
+		var to string
+		if rng.Float64() < 0.5 {
+			to = gws[rng.Intn(len(gws))]
+		} else {
+			to = balloonID(rng.Intn(fleet))
+			for to == from {
+				to = balloonID(rng.Intn(fleet))
+			}
+		}
+		f.Target = from + ">" + to
+	case chaos.ByzantineTelemetry:
+		f.Target = balloonID(rng.Intn(fleet))
+		// Always a window: a byzantine fault with no end would
+		// never lift, and the grammar must generate revertible
+		// scripts.
+		if f.Duration <= 0 {
+			f.Duration = genMinDurS
+		}
+	}
+	return f
+}
+
+// maxDurFor is the grammar's duration ceiling for kind k (retime
+// mutations clamp against it).
+func maxDurFor(k chaos.Kind) float64 {
+	switch k {
+	case chaos.ControllerCrash, chaos.ControllerFailover, chaos.ControllerPartition,
+		chaos.LeaseFlap, chaos.ReplicaPartition:
+		return 900
+	case chaos.AgentReboot:
+		return 0
+	default:
+		return genMaxDurS
+	}
 }

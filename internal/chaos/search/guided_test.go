@@ -1,0 +1,80 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestGuidedSearchDeterminism is the guided-mode replayability
+// contract: the same (seed, trials, scale, hours) with -guided
+// produces the identical trial sequence, elite-pool history, and
+// report JSON — byte for byte — regardless of worker count. Mutation
+// decisions depend on pool state, so this catches any scheduling leak
+// from the parallel batch execution into the plan derivation.
+func TestGuidedSearchDeterminism(t *testing.T) {
+	base := SearchConfig{
+		Seed: 21, Trials: 12, Scale: 1, Hours: 1,
+		Guided: true,
+	}
+	cfgA, cfgB := base, base
+	cfgA.Workers = 4
+	cfgB.Workers = 1
+
+	repA := Search(cfgA)
+	repB := Search(cfgB)
+
+	jsonA, err := json.MarshalIndent(repA, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonB, err := json.MarshalIndent(repB, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonA, jsonB) {
+		for i := range repA.Results {
+			a, b := repA.Results[i], repB.Results[i]
+			if a.Op != b.Op || a.Script.Name != b.Script.Name {
+				t.Errorf("trial %d diverged: op %q/%q script %q/%q",
+					i, a.Op, b.Op, a.Script.Name, b.Script.Name)
+			}
+		}
+		t.Fatal("guided report JSON differs across worker counts")
+	}
+
+	// Structural evidence the campaign actually guided: the pool
+	// warmed, snapshots were taken, and at least one mutant ran.
+	if !repA.Guided || repA.MutateBudget != base.Trials/2 {
+		t.Errorf("report guided=%v budget=%d, want true/%d", repA.Guided, repA.MutateBudget, base.Trials/2)
+	}
+	if len(repA.EliteHistory) == 0 {
+		t.Fatal("no elite-pool snapshots recorded")
+	}
+	last := repA.EliteHistory[len(repA.EliteHistory)-1]
+	if len(last) == 0 {
+		t.Fatal("elite pool empty at end of campaign — margins never scored")
+	}
+	for i := 1; i < len(last); i++ {
+		if last[i].Score < last[i-1].Score {
+			t.Errorf("elite pool not sorted by score: %v", last)
+		}
+	}
+	if repA.Mutants == 0 {
+		t.Error("guided campaign ran zero mutants")
+	}
+	for _, r := range repA.Results {
+		if r.Op == "" {
+			t.Errorf("trial %d: guided campaign left Op empty", r.Trial)
+		}
+		if r.Op != opFresh && len(r.Parents) == 0 {
+			t.Errorf("trial %d: mutant (%s) records no parents", r.Trial, r.Op)
+		}
+	}
+	if len(repA.MinMargins) == 0 || len(repA.MarginHist) == 0 {
+		t.Error("report missing margin aggregation")
+	}
+	if len(repA.MarginBins) != marginBinCount+1 {
+		t.Errorf("MarginBins has %d edges, want %d", len(repA.MarginBins), marginBinCount+1)
+	}
+}

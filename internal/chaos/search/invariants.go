@@ -56,6 +56,20 @@ const (
 	// attached and idle at end of run, the standby's journal copy is
 	// digest-identical to the acting primary's.
 	InvJournalConvergence = "journal-convergence"
+	// InvDataplaneDelivery: bounded loss for traffic whose endpoints
+	// stayed mutually reachable — a balloon with SOME live path to a
+	// live gateway must not sit undelivered longer than the grace
+	// window while the control plane was able to repair the route
+	// (DeliveryMeter.LostBeyondGrace == 0). Genuine partitions and
+	// control-plane outages are excused; data-plane misprogramming is
+	// not.
+	InvDataplaneDelivery = "inv-dataplane-delivery"
+	// InvIntentJournalConsistency: the acting process's durable journal
+	// and live intent store agree — every journaled link whose physical
+	// link is up has a live intent, and every Established intent is
+	// journaled. Divergence means a future restart would re-adopt
+	// unwanted links or re-actuate finished work.
+	InvIntentJournalConsistency = "inv-intent-journal-consistency"
 )
 
 // Invariants lists every invariant name the suite checks.
@@ -65,6 +79,7 @@ func Invariants() []string {
 		InvNoRoutingLoop, InvControlConsistency, InvPositionSanity,
 		InvDeterminism, InvSingleLeader, InvEpochMonotonic,
 		InvNoStaleEpochAccept, InvBoundedPromotion, InvJournalConvergence,
+		InvDataplaneDelivery, InvIntentJournalConsistency,
 	}
 }
 

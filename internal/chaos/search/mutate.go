@@ -1,0 +1,219 @@
+package search
+
+import (
+	"math/rand"
+
+	"minkowski/internal/chaos"
+)
+
+// Mutation operator names, recorded per trial in the report (Op).
+const (
+	opFresh    = "fresh"
+	opAddFault = "add-fault"
+	opDrop     = "drop-fault"
+	opRetime   = "retime"
+	opRetarget = "retarget"
+	opSplice   = "splice"
+)
+
+// retimeJitterS is how far a retime mutation may move a fault's start
+// (uniform ±), and the duration scale range is [0.5, 1.5). Small moves
+// on purpose: the elite was selected for being NEAR a boundary, so the
+// mutant should stay in its neighbourhood.
+const retimeJitterS = 300
+
+// kindTarget redraws just the target for a fault of kind k, using the
+// same candidate sets as the generator grammar. ok is false for
+// targetless kinds (retarget does not apply to them).
+func kindTarget(rng *rand.Rand, k chaos.Kind, fleet int) (string, bool) {
+	switch k {
+	case chaos.SatcomOutage:
+		return []string{"leo", "geo", "all"}[rng.Intn(3)], true
+	case chaos.GatewayLoss:
+		gws := gatewayIDs()
+		return gws[rng.Intn(len(gws))], true
+	case chaos.ManetPartition, chaos.AgentReboot, chaos.ByzantineTelemetry:
+		return balloonID(rng.Intn(fleet)), true
+	case chaos.ReplicaPartition:
+		ids := replicaIDs()
+		return ids[rng.Intn(len(ids))], true
+	case chaos.PartialPartition:
+		gws := gatewayIDs()
+		from := balloonID(rng.Intn(fleet))
+		var to string
+		if rng.Float64() < 0.5 {
+			to = gws[rng.Intn(len(gws))]
+		} else {
+			to = balloonID(rng.Intn(fleet))
+			for to == from {
+				to = balloonID(rng.Intn(fleet))
+			}
+		}
+		return from + ">" + to, true
+	default:
+		return "", false
+	}
+}
+
+// mutate derives one child script from parent by a single
+// grammar-respecting operator, drawn by weight from rng. donor, when
+// non-nil, is a second elite the splice operator may take a suffix
+// from. If the drawn operator does not apply (drop on a single-fault
+// script, retarget with no targeted fault, splice with no donor), the
+// remaining operators are tried in fixed order; ok is false only when
+// none applies. The result always passes Validate.
+func mutate(rng *rand.Rand, parent Script, donor *Script, kinds []chaos.Kind) (Script, string, bool) {
+	type op struct {
+		name   string
+		weight float64
+		apply  func() (Script, bool)
+	}
+	ops := []op{
+		{opAddFault, 0.25, func() (Script, bool) { return mutAdd(rng, parent, kinds) }},
+		{opDrop, 0.15, func() (Script, bool) { return mutDrop(rng, parent) }},
+		{opRetime, 0.25, func() (Script, bool) { return mutRetime(rng, parent) }},
+		{opRetarget, 0.15, func() (Script, bool) { return mutRetarget(rng, parent) }},
+		{opSplice, 0.20, func() (Script, bool) { return mutSplice(rng, parent, donor) }},
+	}
+	total := 0.0
+	for _, o := range ops {
+		total += o.weight
+	}
+	r := rng.Float64() * total
+	start := 0
+	for i, o := range ops {
+		if r < o.weight {
+			start = i
+			break
+		}
+		r -= o.weight
+	}
+	for i := 0; i < len(ops); i++ {
+		o := ops[(start+i)%len(ops)]
+		if child, ok := o.apply(); ok && child.Validate() == nil {
+			return child, o.name, true
+		}
+	}
+	return Script{}, "", false
+}
+
+// mutAdd appends one freshly drawn fault of a kind still under the
+// per-kind cap.
+func mutAdd(rng *rand.Rand, parent Script, kinds []chaos.Kind) (Script, bool) {
+	count := map[string]int{}
+	for _, f := range parent.Faults {
+		count[f.Kind]++
+	}
+	var avail []chaos.Kind
+	for _, k := range kinds {
+		if count[k.String()] < genMaxPerKind {
+			avail = append(avail, k)
+		}
+	}
+	if len(avail) == 0 {
+		return Script{}, false
+	}
+	k := avail[rng.Intn(len(avail))]
+	span := parent.Hours*3600 - genMinAtS - genTailS
+	if span < 600 {
+		span = 600
+	}
+	child := parent.Clone()
+	child.Faults = append(child.Faults, genFault(rng, k, parent.FleetSize(), span))
+	return child, true
+}
+
+// mutDrop removes one fault (never the last one — an empty script is
+// just an expensive no-op trial).
+func mutDrop(rng *rand.Rand, parent Script) (Script, bool) {
+	if len(parent.Faults) <= 1 {
+		return Script{}, false
+	}
+	child := parent.Clone()
+	i := rng.Intn(len(child.Faults))
+	child.Faults = append(child.Faults[:i:i], child.Faults[i+1:]...)
+	return child, true
+}
+
+// mutRetime jitters one fault's start time and rescales its duration,
+// clamped to the grammar bounds (impulse faults keep duration 0).
+func mutRetime(rng *rand.Rand, parent Script) (Script, bool) {
+	if len(parent.Faults) == 0 {
+		return Script{}, false
+	}
+	child := parent.Clone()
+	f := &child.Faults[rng.Intn(len(child.Faults))]
+	f.At += (rng.Float64()*2 - 1) * retimeJitterS
+	maxAt := parent.Hours*3600 - genTailS
+	if f.At < genMinAtS {
+		f.At = genMinAtS
+	}
+	if f.At > maxAt {
+		f.At = maxAt
+	}
+	if f.Duration > 0 {
+		k, err := chaos.ParseKind(f.Kind)
+		if err != nil {
+			return Script{}, false
+		}
+		f.Duration *= 0.5 + rng.Float64()
+		if max := maxDurFor(k); f.Duration > max {
+			f.Duration = max
+		}
+		if f.Duration < genMinDurS {
+			f.Duration = genMinDurS
+		}
+	}
+	return child, true
+}
+
+// mutRetarget redraws the target of one targeted fault.
+func mutRetarget(rng *rand.Rand, parent Script) (Script, bool) {
+	var idx []int
+	for i, f := range parent.Faults {
+		if f.Target != "" {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return Script{}, false
+	}
+	child := parent.Clone()
+	i := idx[rng.Intn(len(idx))]
+	k, err := chaos.ParseKind(child.Faults[i].Kind)
+	if err != nil {
+		return Script{}, false
+	}
+	t, ok := kindTarget(rng, k, parent.FleetSize())
+	if !ok {
+		return Script{}, false
+	}
+	child.Faults[i].Target = t
+	return child, true
+}
+
+// mutSplice crosses two elites: a non-empty prefix of the parent's
+// fault list plus a suffix of the donor's, per-kind caps enforced and
+// donor faults past the parent's observable horizon dropped. The
+// child keeps the parent's world (seed, scale, hours).
+func mutSplice(rng *rand.Rand, parent Script, donor *Script) (Script, bool) {
+	if donor == nil || len(parent.Faults) == 0 || len(donor.Faults) == 0 {
+		return Script{}, false
+	}
+	child := parent.Clone()
+	child.Faults = child.Faults[:1+rng.Intn(len(child.Faults))]
+	count := map[string]int{}
+	for _, f := range child.Faults {
+		count[f.Kind]++
+	}
+	maxAt := parent.Hours*3600 - genTailS
+	dcut := rng.Intn(len(donor.Faults))
+	for _, f := range donor.Faults[dcut:] {
+		if f.At > maxAt || count[f.Kind] >= genMaxPerKind {
+			continue
+		}
+		count[f.Kind]++
+		child.Faults = append(child.Faults, f)
+	}
+	return child, true
+}

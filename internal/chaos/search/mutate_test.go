@@ -1,0 +1,211 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"minkowski/internal/chaos"
+)
+
+// mutParent builds a representative multi-fault parent for operator
+// tests: every fault class (targeted durable, targetless durable,
+// impulse) is present.
+func mutParent() Script {
+	return Script{
+		Name: "parent", Seed: 11, Scale: 1, Hours: 3,
+		Faults: []ScriptFault{
+			{Kind: "controller-crash", At: 1000, Duration: 600},
+			{Kind: "manet-partition", Target: "hbal-003", At: 2000, Duration: 800},
+			{Kind: "agent-reboot", Target: "hbal-005", At: 4000},
+		},
+	}
+}
+
+// TestMutationOperators drives each operator over many seeds and
+// checks the structural contract: the child always passes Validate,
+// never exceeds grammar bounds, and differs from the parent in exactly
+// the way the operator promises.
+func TestMutationOperators(t *testing.T) {
+	donor := Script{
+		Name: "donor", Seed: 12, Scale: 1, Hours: 3,
+		Faults: []ScriptFault{
+			{Kind: "gateway-loss", Target: "gs-kisumu", At: 3000, Duration: 900},
+			{Kind: "lease-flap", At: 5000, Duration: 700},
+		},
+	}
+	cases := []struct {
+		name  string
+		apply func(rng *rand.Rand, parent Script) (Script, bool)
+		check func(t *testing.T, parent, child Script)
+	}{
+		{"add-fault", func(rng *rand.Rand, p Script) (Script, bool) {
+			return mutAdd(rng, p, chaos.Kinds())
+		}, func(t *testing.T, p, c Script) {
+			if len(c.Faults) != len(p.Faults)+1 {
+				t.Fatalf("add: %d faults, want %d", len(c.Faults), len(p.Faults)+1)
+			}
+			count := map[string]int{}
+			for _, f := range c.Faults {
+				if count[f.Kind]++; count[f.Kind] > genMaxPerKind {
+					t.Fatalf("add: kind %s exceeds per-kind cap", f.Kind)
+				}
+			}
+		}},
+		{"drop-fault", func(rng *rand.Rand, p Script) (Script, bool) {
+			return mutDrop(rng, p)
+		}, func(t *testing.T, p, c Script) {
+			if len(c.Faults) != len(p.Faults)-1 {
+				t.Fatalf("drop: %d faults, want %d", len(c.Faults), len(p.Faults)-1)
+			}
+		}},
+		{"retime", func(rng *rand.Rand, p Script) (Script, bool) {
+			return mutRetime(rng, p)
+		}, func(t *testing.T, p, c Script) {
+			if len(c.Faults) != len(p.Faults) {
+				t.Fatalf("retime changed fault count")
+			}
+			changed := 0
+			for i := range c.Faults {
+				f, pf := c.Faults[i], p.Faults[i]
+				if f.Kind != pf.Kind || f.Target != pf.Target {
+					t.Fatalf("retime touched kind/target")
+				}
+				if f.At != pf.At || f.Duration != pf.Duration {
+					changed++
+					if f.At < genMinAtS || f.At > p.Hours*3600-genTailS {
+						t.Fatalf("retime moved At out of bounds: %v", f.At)
+					}
+					if pf.Duration == 0 && f.Duration != 0 {
+						t.Fatalf("retime gave an impulse fault a duration")
+					}
+					if f.Duration != 0 && f.Duration < genMinDurS {
+						t.Fatalf("retime shrank duration below the floor: %v", f.Duration)
+					}
+				}
+			}
+			if changed > 1 {
+				t.Fatalf("retime touched %d faults, want at most 1", changed)
+			}
+		}},
+		{"retarget", func(rng *rand.Rand, p Script) (Script, bool) {
+			return mutRetarget(rng, p)
+		}, func(t *testing.T, p, c Script) {
+			diff := 0
+			for i := range c.Faults {
+				f, pf := c.Faults[i], p.Faults[i]
+				if f.Kind != pf.Kind || f.At != pf.At || f.Duration != pf.Duration {
+					t.Fatalf("retarget touched non-target fields")
+				}
+				if f.Target != pf.Target {
+					diff++
+					if pf.Target == "" {
+						t.Fatalf("retarget gave a targetless fault a target")
+					}
+				}
+			}
+			if diff > 1 {
+				t.Fatalf("retarget changed %d targets, want at most 1", diff)
+			}
+		}},
+		{"splice", func(rng *rand.Rand, p Script) (Script, bool) {
+			return mutSplice(rng, p, &donor)
+		}, func(t *testing.T, p, c Script) {
+			if c.Seed != p.Seed || c.Scale != p.Scale || c.Hours != p.Hours {
+				t.Fatalf("splice changed the parent's world parameters")
+			}
+			if len(c.Faults) == 0 {
+				t.Fatalf("splice produced an empty schedule")
+			}
+			count := map[string]int{}
+			for _, f := range c.Faults {
+				if count[f.Kind]++; count[f.Kind] > genMaxPerKind {
+					t.Fatalf("splice: kind %s exceeds per-kind cap", f.Kind)
+				}
+				if f.At > p.Hours*3600-genTailS {
+					t.Fatalf("splice kept a fault past the horizon: At=%v", f.At)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			applied := 0
+			for seed := int64(0); seed < 50; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				parent := mutParent()
+				child, ok := tc.apply(rng, parent)
+				if !ok {
+					continue
+				}
+				applied++
+				if err := child.Validate(); err != nil {
+					t.Fatalf("seed %d: child fails Validate: %v", seed, err)
+				}
+				tc.check(t, parent, child)
+			}
+			if applied == 0 {
+				t.Fatalf("operator never applied over 50 seeds")
+			}
+		})
+	}
+}
+
+// TestMutateFallback: when the drawn operator does not apply, mutate
+// falls through to one that does, and the result is always valid. A
+// single-fault targetless parent with no donor rules out drop,
+// retarget, and splice — yet mutate must still succeed via add or
+// retime.
+func TestMutateFallback(t *testing.T) {
+	parent := Script{
+		Name: "narrow", Seed: 3, Scale: 1, Hours: 2,
+		Faults: []ScriptFault{{Kind: "solver-outage", At: 1500, Duration: 600}},
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		child, op, ok := mutate(rng, parent, nil, chaos.Kinds())
+		if !ok {
+			t.Fatalf("seed %d: mutate found no applicable operator", seed)
+		}
+		switch op {
+		case opDrop, opRetarget, opSplice:
+			t.Fatalf("seed %d: inapplicable operator %q reported as applied", seed, op)
+		}
+		if err := child.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestShrinkConvergesOnMutant checks the shrinking loop composes with
+// mutation: grow a known minimal reproducer with extra faults (as a
+// guided campaign would), and delta-debug must strip the padding back
+// off while preserving the violation.
+func TestShrinkConvergesOnMutant(t *testing.T) {
+	base, err := LoadScript("testdata/repros/split-brain-stale-epoch.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	mutant := base.Clone()
+	for i := 0; i < 2; i++ {
+		next, ok := mutAdd(rng, mutant, []chaos.Kind{chaos.AgentReboot, chaos.SatcomOutage})
+		if !ok {
+			t.Fatal("mutAdd did not apply")
+		}
+		mutant = next
+	}
+	if len(mutant.Faults) != len(base.Faults)+2 {
+		t.Fatalf("mutant has %d faults, want %d", len(mutant.Faults), len(base.Faults)+2)
+	}
+	shrunk, runs, err := Shrink(mutant, base.Violates, Options{PreFix: true}, DefaultShrinkBudget)
+	if err != nil {
+		t.Fatalf("Shrink: %v (after %d runs)", err, runs)
+	}
+	if len(shrunk.Faults) > len(base.Faults) {
+		t.Errorf("shrunk mutant kept %d faults, want <= %d (padding not removed)",
+			len(shrunk.Faults), len(base.Faults))
+	}
+	if shrunk.Violates != base.Violates {
+		t.Errorf("shrunk.Violates = %q, want %q", shrunk.Violates, base.Violates)
+	}
+}

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"strings"
 
 	"minkowski/internal/chaos"
 	"minkowski/internal/core"
@@ -77,6 +78,13 @@ func (o Options) promotionBound() float64 {
 type Result struct {
 	Script     Script      `json:"script"`
 	Violations []Violation `json:"violations,omitempty"`
+	// Margins is the continuous distance-to-violation per invariant —
+	// the guided search's fitness signal. 1 means comfortable, 0 means
+	// on the boundary, ≤ -1 means violated (violations are clamped
+	// below every near-miss). Invariants with nothing to measure in
+	// this run (no crash to recover from, no sync command accepted) are
+	// omitted.
+	Margins map[string]float64 `json:"margins,omitempty"`
 	// Digest is the run's telemetry digest (determinism evidence).
 	Digest uint64 `json:"digest"`
 	// Counters snapshotted at end of run.
@@ -130,6 +138,11 @@ func config(s Script, opts Options) core.Config {
 	// is inert without controller faults (the lease renews forever and
 	// the epoch stays 1), so pre-existing repros are unaffected.
 	cfg.ReplicationEnabled = true
+	// Sample data-plane delivery once a solve interval so the delivery
+	// invariant (and its margin) has evidence to judge. The probe is
+	// read-only; runs without it are byte-identical to the pre-probe
+	// profile only in configs that leave DeliveryProbeS at 0.
+	cfg.DeliveryProbeS = 60
 	if opts.PreFix {
 		cfg.SymmetricInBand = true
 		cfg.DisableTelemetryGuard = true
@@ -161,6 +174,12 @@ func Run(s Script, opts Options) (Result, error) {
 				Detail: fmt.Sprintf("telemetry digest diverged across identical runs: %x vs %x",
 					res.Digest, again.Digest),
 			})
+			res.Margins[InvDeterminism] = -1
+		} else {
+			// Determinism is binary — there is no near-miss to measure —
+			// but a checked, passing run still records full margin so
+			// the guided search's fitness map covers the invariant.
+			res.Margins[InvDeterminism] = 1
 		}
 	}
 	return res, nil
@@ -185,6 +204,16 @@ func runOnce(s Script, opts Options) (Result, error) {
 			Invariant: inv, At: c.Eng.Now(), Detail: detail,
 		})
 	}
+	// Margins: continuous distance-to-violation per invariant.
+	// noteMargin keeps the minimum (worst) observation; after the run,
+	// violated invariants are clamped to ≤ -1 so every violation orders
+	// strictly below every near-miss.
+	margins := map[string]float64{}
+	noteMargin := func(inv string, m float64) {
+		if cur, ok := margins[inv]; !ok || m < cur {
+			margins[inv] = m
+		}
+	}
 
 	// --- bounded-recovery probes (per controller-crash fault) -------
 	// Controller-affecting fault windows of every kind collide with
@@ -205,6 +234,13 @@ func runOnce(s Script, opts Options) (Result, error) {
 			ctlWindows = append(ctlWindows, w)
 		case chaos.ControllerFailover, chaos.ControllerPartition:
 			failovers = append(failovers, len(ctlWindows))
+			ctlWindows = append(ctlWindows, w)
+		case chaos.LeaseFlap:
+			// A flapping lease cell blocks standby acquisition, so
+			// recovery/promotion observations overlapping the flap must
+			// be suppressed — but the flap itself gets neither probe
+			// family (leadership lapsing under a dead cell write path
+			// is the expected outcome, not a bounded-takeover promise).
 			ctlWindows = append(ctlWindows, w)
 		}
 	}
@@ -232,7 +268,22 @@ func runOnce(s Script, opts Options) (Result, error) {
 		var solvesAtRestart int
 		capturedAt := restart + 1
 		c.Eng.At(capturedAt, func() { solvesAtRestart = c.SolveRuns })
+		// Poll between restart and deadline so the margin measures how
+		// much of the bound was LEFT when the solve loop resumed, not
+		// just whether the deadline was met.
+		var resumedAt float64
+		resumed := false
+		observe := func() {
+			if !resumed && !c.Down() && c.SolveRuns > solvesAtRestart {
+				resumed = true
+				resumedAt = c.Eng.Now()
+			}
+		}
+		for t := capturedAt + 5; t < deadline; t += 5 {
+			c.Eng.At(t, observe)
+		}
 		c.Eng.At(deadline, func() {
+			observe()
 			if c.Down() {
 				record(InvBoundedRecovery,
 					fmt.Sprintf("controller still down %.0fs after restart at t=%.0fs", bound, restart))
@@ -241,7 +292,9 @@ func runOnce(s Script, opts Options) (Result, error) {
 			if c.SolveRuns <= solvesAtRestart {
 				record(InvBoundedRecovery,
 					fmt.Sprintf("no solve cycle completed within %.0fs of restart at t=%.0fs", bound, restart))
+				return
 			}
+			noteMargin(InvBoundedRecovery, (deadline-resumedAt)/bound)
 		})
 	}
 
@@ -268,7 +321,19 @@ func runOnce(s Script, opts Options) (Result, error) {
 			promosBefore = c.Promotions
 			solvesBefore = c.SolveRuns
 		})
+		var resumedAt float64
+		resumed := false
+		observe := func() {
+			if !resumed && c.Promotions > promosBefore && !c.Down() && c.SolveRuns > solvesBefore {
+				resumed = true
+				resumedAt = c.Eng.Now()
+			}
+		}
+		for t := fw.start + 6; t < deadline; t += 5 {
+			c.Eng.At(t, observe)
+		}
 		c.Eng.At(deadline, func() {
+			observe()
 			if c.Promotions <= promosBefore {
 				record(InvBoundedPromotion,
 					fmt.Sprintf("no standby promotion within %.0fs of the fault at t=%.0fs (lease lapse + bound)",
@@ -283,7 +348,9 @@ func runOnce(s Script, opts Options) (Result, error) {
 			if c.SolveRuns <= solvesBefore {
 				record(InvBoundedPromotion,
 					fmt.Sprintf("no solve cycle completed within %.0fs of the fault at t=%.0fs", leaseLapseS+pBound, fw.start))
+				return
 			}
+			noteMargin(InvBoundedPromotion, (deadline-resumedAt)/(leaseLapseS+pBound))
 		})
 	}
 
@@ -292,12 +359,16 @@ func runOnce(s Script, opts Options) (Result, error) {
 	const ghostProbeS = 5
 	ghostFor := map[string]float64{}
 	ghosted := map[string]bool{} // one violation per node per episode
+	maxGhost := 0.0              // worst sustained ghost episode (margin evidence)
 	c.Eng.Every(ghostProbeS, func() bool {
 		for _, id := range c.Net.Nodes() {
 			up := c.Frontend.InBandUp(id)
 			_, realUp := c.InBand.PathUp(id)
 			if up && !realUp {
 				ghostFor[id] += ghostProbeS
+				if ghostFor[id] > maxGhost {
+					maxGhost = ghostFor[id]
+				}
 				if ghostFor[id] > grace && !ghosted[id] {
 					ghosted[id] = true
 					record(InvControlConsistency,
@@ -315,6 +386,7 @@ func runOnce(s Script, opts Options) (Result, error) {
 	// --- position-sanity probe --------------------------------------
 	posBound := opts.positionBound()
 	posViolated := map[string]bool{}
+	maxPosFrac := 0.0 // worst error as a fraction of the bound (margin evidence)
 	c.Eng.Every(60, func() bool {
 		for id, n := range c.Fleet.Balloons {
 			if !n.Operational() || posViolated[id] {
@@ -324,12 +396,40 @@ func runOnce(s Script, opts Options) (Result, error) {
 			if !ok {
 				continue
 			}
-			if d := geo.SlantRange(est, n.Position()); d > posBound {
+			d := geo.SlantRange(est, n.Position())
+			if frac := d / posBound; frac > maxPosFrac {
+				maxPosFrac = frac
+			}
+			if d > posBound {
 				posViolated[id] = true
 				record(InvPositionSanity,
 					fmt.Sprintf("controller believes %s is %.0f km from its true position (bound %.0f km)",
 						id, d/1e3, posBound/1e3))
 			}
+		}
+		return true
+	})
+
+	// --- intent-journal consistency probe ---------------------------
+	// Sampled once a solve interval. Transient divergence while
+	// commands are in flight is normal, so the signal is the longest
+	// mismatch STREAK: the margin measures it against a tolerance, and
+	// only divergence that has persisted a full streak bound into a
+	// clean (controller-up) end of run is a violation.
+	const journalProbeS = 60
+	const journalStreakBoundS = 600
+	journalStreak, maxJournalStreak := 0.0, 0.0
+	c.Eng.Every(journalProbeS, func() bool {
+		if c.Down() {
+			return true // the acting journal is unreadable mid-crash
+		}
+		if len(c.JournalIntentMismatches()) > 0 {
+			journalStreak += journalProbeS
+			if journalStreak > maxJournalStreak {
+				maxJournalStreak = journalStreak
+			}
+		} else {
+			journalStreak = 0
 		}
 		return true
 	})
@@ -341,27 +441,85 @@ func runOnce(s Script, opts Options) (Result, error) {
 		record(InvNoDuplicateEnactment,
 			fmt.Sprintf("%d duplicate establish commands for journaled up links", c.DuplicateEstablishes))
 	}
+	// Every journal re-adoption exercised the restart path where a
+	// duplicate establish could have been issued: the margin shrinks
+	// with each near-miss even while the counter stays zero.
+	noteMargin(InvNoDuplicateEnactment, 1/(1+float64(c.Readopted)))
 	if late := c.Frontend.LateSyncEnactments(); late > 0 {
 		record(InvNoLateSyncEnactment,
 			fmt.Sprintf("%d sync-required commands enacted after their TTE", late))
+	}
+	// Margin: the tightest arrival headroom any accepted sync command
+	// had before its TTE, in units of a comfortable minute.
+	if slack, ok := c.Frontend.MinSyncSlack(); ok {
+		m := slack / 60
+		if m > 1 {
+			m = 1
+		}
+		noteMargin(InvNoLateSyncEnactment, m)
 	}
 	if loop, found := manet.FindLoop(c.Router, c.Net.Nodes()); found {
 		record(InvNoRoutingLoop,
 			fmt.Sprintf("router snapshot loops %v forwarding %s→%s", loop.Cycle, loop.Src, loop.Dst))
 	}
+	deadEnds := 0
 	for _, r := range c.Data.Routes() {
 		if len(r.Path) < 2 {
 			continue
 		}
-		if cycle, found := dataplaneLoop(c, r.ID, r.Path[0], r.Path[len(r.Path)-1]); found {
+		cycle, deadEnd, looped := dataplaneLoop(c, r.ID, r.Path[0], r.Path[len(r.Path)-1])
+		if looped {
 			record(InvNoRoutingLoop,
 				fmt.Sprintf("data-plane entries for %s loop %v", r.ID, cycle))
+		}
+		if deadEnd {
+			deadEnds++
+		}
+	}
+	// Dead-end walks are legal partial programming, but each one is a
+	// route whose entries were mid-rewrite — the raw material loops are
+	// made of.
+	noteMargin(InvNoRoutingLoop, 1/(1+float64(deadEnds)))
+	noteMargin(InvControlConsistency, (grace-maxGhost)/grace)
+	noteMargin(InvPositionSanity, 1-maxPosFrac)
+	noteMargin(InvIntentJournalConsistency, 1-maxJournalStreak/journalStreakBoundS)
+	if !c.Down() && journalStreak >= journalStreakBoundS {
+		if mm := c.JournalIntentMismatches(); len(mm) > 0 {
+			record(InvIntentJournalConsistency,
+				fmt.Sprintf("journal/intent divergence persisted %.0fs into a clean end of run (%d mismatches): %s",
+					journalStreak, len(mm), strings.Join(mm, "; ")))
+		}
+	}
+	if m := c.Delivery; m != nil && m.Injected > 0 {
+		noteMargin(InvDataplaneDelivery, 1-m.MaxOutageS/m.GraceS)
+		if m.LostBeyondGrace > 0 {
+			record(InvDataplaneDelivery,
+				fmt.Sprintf("%d delivery probes lost beyond the %.0fs grace (max outage %.0fs) with endpoints mutually reachable and the control plane able to repair",
+					m.LostBeyondGrace, m.GraceS, m.MaxOutageS))
 		}
 	}
 	if c.Lease != nil {
 		for _, v := range c.Lease.Audit() {
 			record(InvSingleLeader, v)
 		}
+		// Margin: the tightest gap between consecutive different-holder
+		// tenures, in lease-TTL units (an overlap is the violation the
+		// audit reports).
+		handoffMargin := 1.0
+		for i := 1; i < len(c.Lease.Grants); i++ {
+			prev, cur := c.Lease.Grants[i-1], c.Lease.Grants[i]
+			if cur.Holder == prev.Holder {
+				continue
+			}
+			gap := (cur.At - prev.Until) / c.Lease.TTLS
+			if gap > 1 {
+				gap = 1
+			}
+			if gap < handoffMargin {
+				handoffMargin = gap
+			}
+		}
+		noteMargin(InvSingleLeader, handoffMargin)
 		if n := c.Frontend.EpochRegressions(); n > 0 {
 			record(InvEpochMonotonic,
 				fmt.Sprintf("%d enactments regressed below an already-enacted fencing epoch", n))
@@ -370,10 +528,19 @@ func runOnce(s Script, opts Options) (Result, error) {
 			record(InvNoStaleEpochAccept,
 				fmt.Sprintf("%d commands enacted despite carrying a stale fencing epoch (split-brain double-enactment)", n))
 		}
+		// Every stale-epoch rejection is the fence actually bouncing a
+		// deposed primary's command — the near-miss both epoch
+		// invariants exist to bound.
+		rej := float64(c.Frontend.StaleEpochRejections())
+		noteMargin(InvEpochMonotonic, 1/(1+rej))
+		noteMargin(InvNoStaleEpochAccept, 1/(1+rej))
 		// Journal convergence is only decidable when the stream is
 		// attached and idle: a run ending mid-partition or mid-flight
 		// legitimately leaves the standby behind.
 		if !c.Down() && c.Repl.Connected() && c.Repl.InFlight() == 0 {
+			// Each disconnected-drop is replication traffic the standby
+			// missed and had to win back through reconciliation.
+			noteMargin(InvJournalConvergence, 1/(1+float64(c.Repl.DroppedDisconnected)))
 			if a, b := c.Journal.Digest(), c.Repl.StandbyJournal().Digest(); a != b {
 				record(InvJournalConvergence,
 					fmt.Sprintf("standby journal digest %x != acting journal digest %x with the stream attached and idle", b, a))
@@ -381,9 +548,18 @@ func runOnce(s Script, opts Options) (Result, error) {
 		}
 	}
 
+	// Clamp: a violated invariant's margin sorts below every near-miss,
+	// whatever its probes measured.
+	for _, v := range violations {
+		if cur, ok := margins[v.Invariant]; !ok || cur > -1 {
+			margins[v.Invariant] = -1
+		}
+	}
+
 	return Result{
 		Script:               s,
 		Violations:           violations,
+		Margins:              margins,
 		Digest:               c.TelemetryDigest(),
 		DuplicateEstablishes: c.DuplicateEstablishes,
 		LateSyncEnactments:   c.Frontend.LateSyncEnactments(),
@@ -399,23 +575,27 @@ func runOnce(s Script, opts Options) (Result, error) {
 // dataplaneLoop walks a route's installed forwarding entries
 // (whatever their generations) from src toward dst, reporting a cycle
 // if the walk revisits a node. Dead ends are fine — partial
-// programming is a fact of life — but a persistent cycle means
-// packets orbit.
-func dataplaneLoop(c *core.Controller, routeID, src, dst string) ([]string, bool) {
+// programming is a fact of life — but they are reported separately as
+// margin evidence: a persistent cycle means packets orbit, and cycles
+// are assembled from exactly such half-programmed states.
+func dataplaneLoop(c *core.Controller, routeID, src, dst string) (cycle []string, deadEnd, looped bool) {
 	seen := map[string]bool{src: true}
 	walk := []string{src}
 	cur := src
 	for i := 0; i < 4096; i++ {
 		nh, _, ok := c.Data.NextHopFor(cur, routeID)
-		if !ok || nh == dst {
-			return nil, false
+		if !ok {
+			return nil, true, false
+		}
+		if nh == dst {
+			return nil, false, false
 		}
 		walk = append(walk, nh)
 		if seen[nh] {
-			return walk, true
+			return walk, false, true
 		}
 		seen[nh] = true
 		cur = nh
 	}
-	return walk, true
+	return walk, false, true
 }

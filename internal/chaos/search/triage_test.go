@@ -13,15 +13,45 @@ func TestViolationSignature(t *testing.T) {
 		{Kind: "byzantine-telemetry", At: 1000},
 		{Kind: "solver-outage", At: 5000},
 	}}
-	// Earliest fault already injected at the violation time wins.
+	// The LAST fault injected before the violation wins — gateway-loss
+	// at t=2000 is the proximate trigger of a t=2500 violation, not the
+	// byzantine-telemetry that started back at t=1000.
 	got := violationSignature(s, Violation{Invariant: InvPositionSanity, At: 2500})
-	if want := InvPositionSanity + "|byzantine-telemetry"; got != want {
+	if want := InvPositionSanity + "|gateway-loss"; got != want {
 		t.Errorf("signature = %q, want %q", got, want)
 	}
 	// A violation before any fault falls back to the first listed fault.
 	got = violationSignature(s, Violation{Invariant: InvDeterminism, At: 500})
 	if want := InvDeterminism + "|gateway-loss"; got != want {
 		t.Errorf("pre-fault signature = %q, want %q", got, want)
+	}
+}
+
+// TestViolationSignatureDecoy is the regression test for the
+// first-fault attribution bug: a benign decoy fault listed (and
+// injected) long before the real trigger must not capture the
+// signature. Before the fix, violationSignature scanned for the
+// earliest injected fault, so every violation in a script with an
+// early decoy signatured as the decoy — collapsing distinct failure
+// modes into one dedup group and shrinking the wrong representative.
+func TestViolationSignatureDecoy(t *testing.T) {
+	s := Script{Faults: []ScriptFault{
+		{Kind: "agent-reboot", At: 950},      // benign decoy, fires first
+		{Kind: "controller-crash", At: 4000}, // real trigger
+		{Kind: "solver-outage", At: 6000},    // after the violation
+	}}
+	got := violationSignature(s, Violation{Invariant: InvBoundedRecovery, At: 4800})
+	if want := InvBoundedRecovery + "|controller-crash"; got != want {
+		t.Errorf("decoy signature = %q, want %q", got, want)
+	}
+	// Ties on At keep the later-listed fault.
+	tie := Script{Faults: []ScriptFault{
+		{Kind: "agent-reboot", At: 1000},
+		{Kind: "manet-partition", At: 1000},
+	}}
+	got = violationSignature(tie, Violation{Invariant: InvNoRoutingLoop, At: 1500})
+	if want := InvNoRoutingLoop + "|manet-partition"; got != want {
+		t.Errorf("tie signature = %q, want %q", got, want)
 	}
 }
 

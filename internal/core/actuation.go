@@ -62,6 +62,20 @@ func (c *Controller) actuate(acts intent.Actions) {
 	c.actuateFor(&c.ctlState, acts)
 }
 
+// sendFor hands a command from control process p to the CDPI frontend
+// — unless p's command path is deafened by a replica-partition fault,
+// in which case the command is silently lost (counted, logged). All
+// command dispatch funnels through here so the fault covers the acting
+// primary, the deposed rogue, and the realignment loop alike; p's
+// other planes (lease, replication, telemetry) are untouched.
+func (c *Controller) sendFor(p *ctlState, cmd *cdpi.Command, done func(bool)) {
+	if c.cmdDeaf[p.replica] {
+		c.CmdDeafDrops++
+		return
+	}
+	c.Frontend.Send(cmd, done)
+}
+
 // actuateFor dispatches actions for one control process — the acting
 // primary, or the deposed rogue during a controller partition. Every
 // command is stamped with the issuing process's fencing epoch, which
@@ -119,7 +133,7 @@ func (c *Controller) commandEstablish(p *ctlState, li *intent.LinkIntent, attemp
 			TTE: tte, Payload: &linkPayload{intent: li}, IntentID: iid,
 			Epoch: p.epoch,
 		}
-		c.Frontend.Send(cmd, nil)
+		c.sendFor(p, cmd, nil)
 	}
 	// Give-up timeout: if the link is not up (or being attempted)
 	// well after the TTE plus the slowest acquisition, count the
@@ -245,7 +259,7 @@ func (c *Controller) commandWithdraw(p *ctlState, li *intent.LinkIntent) {
 			TTE: tte, Payload: &linkPayload{intent: li}, IntentID: iid,
 			Epoch: p.epoch,
 		}
-		c.Frontend.Send(cmd, nil)
+		c.sendFor(p, cmd, nil)
 	}
 	// If neither endpoint is reachable the fabric link (if any) will
 	// fail on its own; mark the intent withdrawn when the fabric
@@ -277,7 +291,7 @@ func (c *Controller) commandRouteProgram(p *ctlState, ri *intent.RouteIntent) {
 			Payload: &routePayload{routeID: ri.ID, nextHop: next, gen: ri.Generation, path: ri.Path},
 			Epoch:   p.epoch,
 		}
-		c.Frontend.Send(cmd, nil)
+		c.sendFor(p, cmd, nil)
 	}
 }
 
@@ -292,7 +306,7 @@ func (c *Controller) commandRouteRemoval(p *ctlState, ri *intent.RouteIntent) {
 			Payload: &routePayload{routeID: ri.ID, nextHop: "", gen: ri.Generation},
 			Epoch:   p.epoch,
 		}
-		c.Frontend.Send(cmd, nil)
+		c.sendFor(p, cmd, nil)
 	}
 	c.Data.DropRoute(ri.ID)
 }
@@ -325,7 +339,7 @@ func (c *Controller) realignRoutes() {
 				Payload: &routePayload{routeID: ri.ID, nextHop: next, gen: ri.Generation, path: ri.Path},
 				Epoch:   c.epoch,
 			}
-			c.Frontend.Send(cmd, nil)
+			c.sendFor(&c.ctlState, cmd, nil)
 		}
 	}
 }

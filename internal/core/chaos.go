@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 
 	"minkowski/internal/chaos"
 	"minkowski/internal/dataplane"
 	"minkowski/internal/explain"
 	"minkowski/internal/intent"
+	"minkowski/internal/manet"
+	"minkowski/internal/platform"
 	"minkowski/internal/radio"
 	"minkowski/internal/telemetry"
 )
@@ -62,6 +65,25 @@ func (c *Controller) InstallChaos(s chaos.Scenario) *chaos.Injector {
 			c.SetByzantine(node, active)
 			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, node,
 				"byzantine telemetry active=%v (spoofed positions and margins)", active)
+		},
+		LeaseFlap: func(active bool) {
+			if c.Lease == nil {
+				c.Log.Append(c.Eng.Now(), explain.EvAnomaly, "lease-cell",
+					"lease-flap ignored: replication disabled")
+				return
+			}
+			c.Lease.SetFlapping(active)
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, "lease-cell",
+				"lease cell flapping=%v (acquire/renew dropped; reads still served)", active)
+		},
+		ReplicaPartition: func(replica string, deaf bool) {
+			if deaf {
+				c.cmdDeaf[replica] = true
+			} else {
+				delete(c.cmdDeaf, replica)
+			}
+			c.Log.Appendf(c.Eng.Now(), explain.EvAnomaly, replica,
+				"replica command path deaf=%v (lease/replication/telemetry unaffected)", deaf)
 		},
 	})
 	inj.Schedule(s)
@@ -309,6 +331,136 @@ func (c *Controller) ControlPlaneFrac() float64 {
 	return float64(up) / float64(total)
 }
 
+// probeDelivery offers one synthetic end-to-end probe per in-service
+// balloon's declared backhaul route and classifies it into the
+// delivery meter (Cfg.DeliveryProbeS cadence):
+//
+//   - delivered: the programmed next-hop chain walks source →
+//     destination over up, non-deaf fabric links;
+//   - reachable: ground truth — BFS over the mesh (the fabric's
+//     already-up links, deaf directions excluded) finds SOME path from
+//     the balloon to a live gateway, and the programmed path itself is
+//     not silenced by a deafened direction. A balloon with no up-link
+//     path sits in a genuine topology partition; a walk that dies on a
+//     deaf hop is a partition OF THE PATH that no in-model mechanism
+//     (pre- or post-fix) can observe. Both are excused;
+//   - controllable: the control plane could have repaired the route
+//     (acting process up, solver up, its command path not deafened)
+//     AND currently believes the route healthy — while any path edge
+//     is known-broken (intent failed or still re-establishing) it is
+//     already repairing, and the meter freezes rather than advances
+//     the clock. The invariant indicts belief/reality divergence —
+//     "everything looks healthy, traffic black-holes anyway" — not the
+//     solver's pace at rebuilding sparse topology.
+//
+// Reachable-but-undelivered probes advance the route's outage clock
+// only while controllable; the bounded-loss invariant fires when any
+// clock outruns the grace window.
+func (c *Controller) probeDelivery() {
+	m := c.Delivery
+	if m == nil {
+		return
+	}
+	ctlUp := !c.down && !c.solverDown && !c.cmdDeaf[c.actingID]
+	live := make(map[string]bool, len(c.gateways))
+	for _, g := range c.liveGateways() {
+		live[g] = true
+	}
+	for _, n := range c.Fleet.Nodes() {
+		if n.Kind != platform.KindBalloon || !c.inService(n) {
+			continue
+		}
+		rid := "backhaul/" + n.ID
+		r, ok := c.Data.Route(rid)
+		if !ok || len(r.Path) < 2 {
+			// No route declared (yet): nothing offered, clock forgotten.
+			m.Clear(rid)
+			continue
+		}
+		delivered, deafHop := c.deliveryWalk(r)
+		reachable := !deafHop && manet.ReachableAny(c.Net, n.ID, live)
+		m.Record(rid, c.Cfg.DeliveryProbeS, delivered, reachable,
+			ctlUp && c.routeBelievedHealthy(r))
+	}
+}
+
+// routeBelievedHealthy reports whether the acting process's intent
+// store says every edge of the route's declared path is an Established
+// link — the controller's own claim that the route should be carrying
+// traffic right now.
+func (c *Controller) routeBelievedHealthy(r *dataplane.Route) bool {
+	for i := 0; i+1 < len(r.Path); i++ {
+		li, ok := c.Intents.ActiveLink(radio.MakeLinkID(r.Path[i], r.Path[i+1]))
+		if !ok || li.State != intent.LinkEstablished {
+			return false
+		}
+	}
+	return true
+}
+
+// deliveryWalk follows a route's programmed next-hop entries from
+// source to destination and reports whether a packet would arrive:
+// every node on the chain must hold an entry, and every hop must ride
+// an up fabric link that is not deafened in the travel direction.
+// deafHop distinguishes a walk silenced by a deafened direction (a
+// partition of the path, excused by the delivery meter) from a walk
+// that died on missing entries, a down link, or a loop.
+func (c *Controller) deliveryWalk(r *dataplane.Route) (delivered, deafHop bool) {
+	cur, dst := r.Path[0], r.Path[len(r.Path)-1]
+	for hops := 0; hops < 64; hops++ {
+		if cur == dst {
+			return true, false
+		}
+		nh, _, ok := c.Data.NextHopFor(cur, r.ID)
+		if !ok {
+			return false, false
+		}
+		if _, up := c.Fabric.LinkBetween(cur, nh); !up {
+			return false, false
+		}
+		if c.Net.Deaf(cur, nh) {
+			return false, true
+		}
+		cur = nh
+	}
+	return false, false // hop budget exhausted (loop) — not delivered
+}
+
+// JournalIntentMismatches cross-checks the acting process's durable
+// journal against its live intent store (inv-intent-journal-
+// consistency) and describes every divergence:
+//
+//   - a journaled link whose physical link is up must have a live
+//     intent — otherwise a restart would re-adopt a link the acting
+//     process no longer wants (journal leak);
+//   - an Established link intent must be journaled — otherwise a
+//     restart would forget (and re-actuate) work that already
+//     happened, the exact duplicate-enactment hazard §6 reconciliation
+//     exists to prevent.
+//
+// Only callable meaningfully while the process is up; during a crash
+// the intent store is legitimately empty.
+func (c *Controller) JournalIntentMismatches() []string {
+	var out []string
+	for _, li := range c.Journal.Links() {
+		if l, ok := c.Fabric.Get(li.Link); !ok || !l.Up() {
+			continue
+		}
+		if _, ok := c.Intents.ActiveLink(li.Link); !ok {
+			out = append(out, fmt.Sprintf("journaled up link %s has no live intent", li.Link))
+		}
+	}
+	for _, li := range c.Intents.ActiveLinks() {
+		if li.State != intent.LinkEstablished {
+			continue
+		}
+		if !c.Journal.HasLink(li.Link) {
+			out = append(out, fmt.Sprintf("established intent %s is not journaled", li.Link))
+		}
+	}
+	return out
+}
+
 // TelemetryDigest hashes the observable simulation outcome — event
 // count, enactment log, fabric state, intent state, reachability
 // ratios — into one value. Two runs of the same seeded scenario
@@ -339,8 +491,8 @@ func (c *Controller) TelemetryDigest() uint64 {
 		c.Reach.Ratio(telemetry.LayerControl),
 		c.Reach.Ratio(telemetry.LayerData))
 	if c.Lease != nil {
-		w("repl acting=%s epoch=%d grants=%d renewals=%d promotions=%d standdowns=%d rogue=%d pub=%d app=%d drop=%d aj=%x sj=%x\n",
-			c.actingID, c.epoch, len(c.Lease.Grants), c.Lease.Renewals,
+		w("repl acting=%s epoch=%d grants=%d renewals=%d flapdeny=%d promotions=%d standdowns=%d rogue=%d pub=%d app=%d drop=%d aj=%x sj=%x\n",
+			c.actingID, c.epoch, len(c.Lease.Grants), c.Lease.Renewals, c.Lease.FlapDenials,
 			c.Promotions, c.Standdowns, c.RogueSolves,
 			c.Repl.Published, c.Repl.Applied, c.Repl.DroppedDisconnected,
 			c.Journal.Digest(), c.Repl.StandbyJournal().Digest())
@@ -348,5 +500,19 @@ func (c *Controller) TelemetryDigest() uint64 {
 	w("fence rej=%d acc=%d regress=%d\n",
 		c.Frontend.StaleEpochRejections(), c.Frontend.StaleEpochAccepts(),
 		c.Frontend.EpochRegressions())
+	if c.Delivery != nil {
+		m := c.Delivery
+		w("deliv inj=%d ok=%d drop=%d unreach=%d unctl=%d grace=%d lost=%d maxout=%.3f\n",
+			m.Injected, m.Delivered, m.Dropped, m.DroppedUnreachable,
+			m.DroppedUncontrollable, m.DroppedInGrace, m.LostBeyondGrace, m.MaxOutageS)
+	}
+	if len(c.cmdDeaf) > 0 || c.CmdDeafDrops > 0 {
+		deaf := make([]string, 0, len(c.cmdDeaf))
+		for r := range c.cmdDeaf {
+			deaf = append(deaf, r)
+		}
+		sort.Strings(deaf)
+		w("cmddeaf drops=%d deaf=%v\n", c.CmdDeafDrops, deaf)
+	}
 	return h.Sum64()
 }

@@ -123,6 +123,19 @@ type Config struct {
 	// sources in Degraded mode (> 1 = conservative). 0 keeps the
 	// default (1.5).
 	WeatherStalePenalty float64
+	// DeliveryProbeS enables end-to-end delivery accounting when > 0:
+	// every DeliveryProbeS seconds the controller offers one synthetic
+	// probe per in-service balloon's declared backhaul route and
+	// classifies it into the dataplane.DeliveryMeter (delivered /
+	// excused / lost-beyond-grace). 0 (the default) keeps the meter off
+	// so legacy scenarios are byte-identical.
+	DeliveryProbeS float64
+	// DeliveryGraceS is the bounded-loss repair allowance for the
+	// delivery meter: a route may sit reachable-but-undelivered for up
+	// to this many accumulated controllable seconds before drops count
+	// as lost (inv-dataplane-delivery). 0 keeps the default (600 s —
+	// several solve cycles plus the route-stagger window).
+	DeliveryGraceS float64
 	// EstablishRetry paces link-establishment re-dispatch between
 	// attempts. The zero value preserves the paper's production
 	// behaviour — "links were retried repeatedly", immediately; set a
@@ -235,6 +248,14 @@ func (c Config) replDelay() float64 {
 		return c.ReplDelayS
 	}
 	return 0.5
+}
+
+// deliveryGrace resolves the bounded-loss grace default.
+func (c Config) deliveryGrace() float64 {
+	if c.DeliveryGraceS > 0 {
+		return c.DeliveryGraceS
+	}
+	return 600
 }
 
 // DefaultConfig is a Kenya-like deployment ready for experiments.

@@ -96,6 +96,13 @@ type Controller struct {
 	// warm-state snapshot (hot-standby pre-warm).
 	WarmAdoptions int
 
+	// Delivery is the end-to-end delivery accounting behind
+	// inv-dataplane-delivery (nil unless Cfg.DeliveryProbeS > 0).
+	Delivery *dataplane.DeliveryMeter
+	// CmdDeafDrops counts commands lost to a replica-partition fault
+	// (the issuing replica's command path was deafened).
+	CmdDeafDrops int
+
 	gateways []string
 	todOff   float64
 	// rogue is the deposed ex-primary's still-running control process
@@ -132,6 +139,9 @@ type Controller struct {
 	// byzantine marks nodes under an active byzantine-telemetry fault:
 	// their agents report spoofed positions and margins.
 	byzantine map[string]bool
+	// cmdDeaf marks replicas under an active replica-partition fault:
+	// commands that replica dispatches toward the CDPI are lost.
+	cmdDeaf map[string]bool
 	// reported holds the latest blindly-adopted self-reports, used only
 	// when the telemetry guard is disabled (pre-fix behaviour).
 	reported map[string]geo.LLA
@@ -258,7 +268,11 @@ func New(cfg Config) *Controller {
 		linkFails:    map[radio.LinkID]*failMemory{},
 		gwDown:       map[string]bool{},
 		byzantine:    map[string]bool{},
+		cmdDeaf:      map[string]bool{},
 		reported:     map[string]geo.LLA{},
+	}
+	if cfg.DeliveryProbeS > 0 {
+		c.Delivery = dataplane.NewDeliveryMeter(cfg.deliveryGrace())
 	}
 	evalCfg := linkeval.DefaultConfig()
 	evalCfg.DropMarginal = cfg.DropMarginalLinks
@@ -445,6 +459,17 @@ func (c *Controller) install() {
 		c.sampleRecovery()
 		return true
 	})
+	// End-to-end delivery probes (optional; inv-dataplane-delivery).
+	// Deliberately NOT gated on c.down: the meter measures the DATA
+	// plane, which keeps forwarding (or failing to) while the control
+	// process is dead — control-plane outages show up as excused
+	// (uncontrollable) drops, not missing samples.
+	if c.Cfg.DeliveryProbeS > 0 {
+		eng.Every(c.Cfg.DeliveryProbeS, func() bool {
+			c.probeDelivery()
+			return true
+		})
+	}
 	// Churn sampling (optional).
 	if c.Cfg.ChurnSampling {
 		eng.Every(60, func() bool {

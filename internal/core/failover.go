@@ -306,7 +306,10 @@ func (c *Controller) installRogueLoop() {
 // dispatches. Modeling
 // simplification: the rogue retains full dispatch reach over the CDPI
 // — the worst case for split-brain, and exactly what agent-side epoch
-// fencing must neutralize.
+// fencing must neutralize. (The opposite regime — a live replica with
+// REDUCED dispatch reach — is probed separately by the
+// replica-partition chaos kind, which deafens one replica's command
+// path while leaving its lease and replication intact.)
 func (c *Controller) rogueSolve() {
 	r := c.rogue
 	now := c.Eng.Now()

@@ -16,9 +16,11 @@ type LeaseGrant struct {
 // (Chubby/etcd in a production deployment) that both controller
 // replicas talk to. It hands out a single renewable leadership lease;
 // every grant carries a strictly increasing fencing epoch that the
-// holder stamps on its CDPI commands. The service itself is assumed
+// holder stamps on its CDPI commands. The service is normally
 // reliable — the paper's failure domain is the controller processes
-// and their links, not the consensus cell.
+// and their links — but the chaos harness can flap the cell's write
+// path (SetFlapping) to probe how leadership degrades when the
+// consensus cell itself misbehaves.
 type LeaseService struct {
 	// TTLS is the lease time-to-live: a holder that fails to renew
 	// within TTLS seconds of its last renewal is considered dead.
@@ -28,17 +30,38 @@ type LeaseService struct {
 	epoch     uint64
 	expiresAt float64
 
+	// flapping marks an unreliable-cell window (chaos LeaseFlap):
+	// while set, every Acquire and Renew request is dropped — the
+	// write path is down — but reads (Holder, Epoch) keep answering
+	// from the cell's existing state. A live lease can therefore lapse
+	// with its holder healthy, and nobody can take a fresh one until
+	// the cell heals.
+	flapping bool
+
 	// Renewals counts successful renewals (telemetry).
 	Renewals int
+	// FlapDenials counts Acquire/Renew requests dropped while the cell
+	// was flapping (telemetry).
+	FlapDenials int
 	// Grants is the full tenure history, for the single-leader audit.
 	Grants []LeaseGrant
 }
+
+// SetFlapping starts or ends an unreliable-cell window.
+func (s *LeaseService) SetFlapping(active bool) { s.flapping = active }
+
+// Flapping reports whether the cell is currently dropping writes.
+func (s *LeaseService) Flapping() bool { return s.flapping }
 
 // Acquire attempts to take the lease at time now. It succeeds when the
 // lease is free, expired, or already held by id, returning the (fresh,
 // strictly larger) fencing epoch. It fails while another holder's
 // lease is live.
 func (s *LeaseService) Acquire(id string, now float64) (uint64, bool) {
+	if s.flapping {
+		s.FlapDenials++
+		return 0, false
+	}
 	if s.holder != "" && s.holder != id && now < s.expiresAt {
 		return 0, false
 	}
@@ -53,6 +76,10 @@ func (s *LeaseService) Acquire(id string, now float64) (uint64, bool) {
 // expired. An expired holder must Acquire again (receiving a new
 // epoch) — this is what makes a partitioned primary's epoch go stale.
 func (s *LeaseService) Renew(id string, now float64) bool {
+	if s.flapping {
+		s.FlapDenials++
+		return false
+	}
 	if s.holder != id || now >= s.expiresAt {
 		return false
 	}

@@ -1,0 +1,33 @@
+package manet
+
+// ReachableAny reports whether any node in dst is reachable from src
+// over the network's current adjacency (BFS over Neighbors, which on a
+// FabricNet already filters dead nodes and deaf directions). It is the
+// ground-truth connectivity oracle for the data-plane delivery
+// invariant: a balloon whose BFS to every live gateway fails sits in a
+// genuine partition, and undelivered traffic for it is excused.
+//
+// The traversal is deterministic: Neighbors returns sorted slices and
+// the frontier is a FIFO queue, so no map-iteration order leaks out.
+func ReachableAny(n Network, src string, dst map[string]bool) bool {
+	if dst[src] {
+		return true
+	}
+	visited := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Neighbors(cur) {
+			if visited[nb] {
+				continue
+			}
+			if dst[nb] {
+				return true
+			}
+			visited[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package manet
+
+import "testing"
+
+// TestReachableAny checks the delivery invariant's connectivity
+// oracle: multi-hop reachability to ANY destination in the set,
+// partition detection, and the trivial src-in-dst case.
+func TestReachableAny(t *testing.T) {
+	// a—b—c   d—e   (two components)
+	n := NewStaticNetwork()
+	n.Connect("a", "b")
+	n.Connect("b", "c")
+	n.Connect("d", "e")
+
+	gw := map[string]bool{"c": true, "e": true}
+	cases := []struct {
+		src  string
+		dst  map[string]bool
+		want bool
+	}{
+		{"a", gw, true},                          // multi-hop a→b→c
+		{"d", gw, true},                          // direct d→e
+		{"a", map[string]bool{"e": true}, false}, // across the partition
+		{"c", gw, true},                          // src already a destination
+		{"a", map[string]bool{}, false},          // empty destination set
+		{"a", map[string]bool{"z": true}, false}, // destination not in graph
+	}
+	for _, tc := range cases {
+		if got := ReachableAny(n, tc.src, tc.dst); got != tc.want {
+			t.Errorf("ReachableAny(%s, %v) = %v, want %v", tc.src, tc.dst, got, tc.want)
+		}
+	}
+
+	// Severing the bridge flips the verdict.
+	n.Disconnect("b", "c")
+	if ReachableAny(n, "a", gw) {
+		t.Error("a still reaches a gateway after the bridge was cut")
+	}
+}

@@ -23,6 +23,18 @@ type PositionGuard struct {
 	// heartbeat in flight, so short inter-report gaps don't reject
 	// honest noise.
 	SlackM float64
+	// MaxEnvelopeM caps the plausibility radius regardless of how long
+	// the reference fix has been stale. Without the cap a PATIENT
+	// byzantine node wins by waiting: quarantine deliberately freezes
+	// the reference timestamp, so the MaxSpeedMS·Δt envelope grows
+	// until any fixed spoof offset becomes "plausible" and is adopted
+	// wholesale (found by guided chaos search — a single ~23-minute
+	// byzantine-telemetry window walks believed position 250 km off).
+	// The cap must sit well above any honest displacement across a
+	// report gap (winds move a balloon tens of km per hour) and well
+	// below the spoof offsets worth guarding against. Zero disables
+	// the cap.
+	MaxEnvelopeM float64
 
 	// Accepted / Rejected count gate decisions.
 	Accepted, Rejected int
@@ -38,9 +50,9 @@ type fix struct {
 }
 
 // NewPositionGuard returns a guard with the default envelope:
-// 80 m/s credible speed and 2 km of slack.
+// 80 m/s credible speed, 2 km of slack, and a 120 km absolute cap.
 func NewPositionGuard() *PositionGuard {
-	return &PositionGuard{MaxSpeedMS: 80, SlackM: 2000, last: map[string]fix{}}
+	return &PositionGuard{MaxSpeedMS: 80, SlackM: 2000, MaxEnvelopeM: 120_000, last: map[string]fix{}}
 }
 
 // Seed installs a trusted initial fix (the controller's own model at
@@ -74,6 +86,9 @@ func (g *PositionGuard) Observe(node string, pos geo.LLA, now float64) bool {
 		dt = 0
 	}
 	limit := g.MaxSpeedMS*dt + g.SlackM
+	if g.MaxEnvelopeM > 0 && limit > g.MaxEnvelopeM {
+		limit = g.MaxEnvelopeM
+	}
 	if geo.SlantRange(prev.pos, pos) <= limit {
 		g.last[node] = fix{pos: pos, at: now}
 		g.Accepted++

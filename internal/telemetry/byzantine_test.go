@@ -75,3 +75,41 @@ func TestPositionGuardSeedDoesNotInheritSpoof(t *testing.T) {
 		t.Errorf("Rejected = %d, want 5", g.Rejected)
 	}
 }
+
+// TestPositionGuardPatientAttacker is the regression test for the
+// envelope-growth hole guided chaos search found: quarantine freezes
+// the reference timestamp, so without an absolute cap the
+// MaxSpeedMS·Δt radius eventually swallows any fixed spoof offset —
+// a ~250 km lie becomes "plausible" after ~52 minutes of patient
+// re-sending. With the cap, the spoof stays rejected no matter how
+// long the attacker waits, while an honest report after a long silent
+// gap (tens of km of real wind drift) is still accepted.
+func TestPositionGuardPatientAttacker(t *testing.T) {
+	g := NewPositionGuard()
+	home := geo.LLADeg(-1.0, 36.8, 19000)
+	g.Seed("n1", home, 0)
+
+	spoof := geo.LLADeg(-1.0, 39.05, 19000) // ~250 km east
+	if d := geo.SlantRange(home, spoof); d < 200_000 || d > 300_000 {
+		t.Fatalf("test geometry off: spoof offset = %.0f m", d)
+	}
+	// Report the same spoof every 10 s for two hours. Without the cap
+	// the envelope passes 250 km at Δt ≈ 3100 s and the lie is adopted.
+	for now := 10.0; now <= 7200; now += 10 {
+		if g.Observe("n1", spoof, now) {
+			t.Fatalf("spoof adopted at t=%.0f — patience defeated the envelope", now)
+		}
+	}
+	if !g.Quarantined("n1") {
+		t.Error("attacker not quarantined after two hours of spoofing")
+	}
+
+	// Honest recovery after a genuinely long gap still works: ~54 km
+	// of real drift over a silent half hour is inside the cap.
+	g2 := NewPositionGuard()
+	g2.Seed("n2", home, 0)
+	drifted := geo.LLADeg(-1.0, 37.29, 19000) // ~54 km east
+	if !g2.Observe("n2", drifted, 1800) {
+		t.Error("honest post-gap report rejected — cap set below real drift")
+	}
+}
