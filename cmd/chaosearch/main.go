@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"minkowski/internal/chaos"
 	"minkowski/internal/chaos/search"
+	"minkowski/internal/obs"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		kindsCS = flag.String("kinds", "", "comma-separated fault kinds to restrict the grammar to (default all)")
 		guided  = flag.Bool("guided", false, "mutate low-margin elite scripts toward invariant boundaries instead of sampling blind")
 		mutateB = flag.Int("mutate-budget", 0, "max trials spent on mutants in guided mode (default trials/2)")
+		obsDir  = flag.String("obs", "", "also write each violating trial's flight-recorder dump and obs snapshot as flight-<trial>.json under this directory")
 	)
 	flag.Parse()
 	if *scale < 1 || *scale > 3 {
@@ -75,6 +78,39 @@ func main() {
 	} else if err := os.WriteFile(*out, b, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosearch:", err)
 		os.Exit(1)
+	}
+
+	if *obsDir != "" {
+		if err := os.MkdirAll(*obsDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosearch:", err)
+			os.Exit(1)
+		}
+		dumps := 0
+		for _, r := range rep.Results {
+			if len(r.Violations) == 0 || (r.Flight == nil && r.Obs == nil) {
+				continue
+			}
+			box := struct {
+				Trial      int                `json:"trial"`
+				Seed       int64              `json:"seed"`
+				Violations []search.Violation `json:"violations"`
+				Flight     *obs.FlightDump    `json:"flight,omitempty"`
+				Obs        *obs.Snapshot      `json:"obs,omitempty"`
+			}{r.Trial, r.Seed, r.Violations, r.Flight, r.Obs}
+			db, err := json.MarshalIndent(box, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosearch:", err)
+				os.Exit(1)
+			}
+			db = append(db, '\n')
+			path := filepath.Join(*obsDir, fmt.Sprintf("flight-%04d.json", r.Trial))
+			if err := os.WriteFile(path, db, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "chaosearch:", err)
+				os.Exit(1)
+			}
+			dumps++
+		}
+		fmt.Fprintf(os.Stderr, "chaosearch: wrote %d flight dumps to %s\n", dumps, *obsDir)
 	}
 
 	unshrunk := 0

@@ -32,6 +32,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	solveWorkers := flag.Int("solve-workers", 0, "solver fan-out width (0 = one worker per core); results are byte-identical at any setting")
 	coldSolve := flag.Bool("cold-solve", false, "disable warm-started solving (measure the incremental re-solve's contribution)")
+	obsPath := flag.String("obs", "", "run the canonical scenario and write the observability export (metrics snapshot + solve-cycle span trees) to this file instead of regenerating figures")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -63,6 +64,20 @@ func main() {
 	}
 
 	o := experiments.Options{Seed: *seed, Scale: *scale, SolveWorkers: *solveWorkers, ColdSolve: *coldSolve}
+	if *obsPath != "" {
+		b, err := experiments.ObsExport(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*obsPath, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote observability export to %s\n", *obsPath)
+		return
+	}
 	var results []*experiments.Result
 	switch strings.ToLower(*fig) {
 	case "all":

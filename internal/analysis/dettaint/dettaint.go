@@ -55,7 +55,15 @@ var Analyzer = &vet.Analyzer{
 
 // RootNames are the function names treated as determinism roots in
 // every package, in addition to //minkowski:hotpath annotations.
-var RootNames = map[string]bool{"Solve": true, "SolveWarm": true}
+// Snapshot/Encode/Dump and the controller's Obs* accessors are the
+// observability export surface: obs output must be byte-identical
+// across same-seed runs, so anything they reach is held to the same
+// no-wall-clock/no-map-order standard as the solver itself.
+var RootNames = map[string]bool{
+	"Solve": true, "SolveWarm": true,
+	"Snapshot": true, "Encode": true, "Dump": true,
+	"ObsSnapshot": true, "ObsTrees": true, "ObsFlightDump": true,
+}
 
 func run(pass *vet.Pass) (any, error) {
 	if pass.Graph == nil {

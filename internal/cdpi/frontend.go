@@ -84,6 +84,11 @@ type Frontend struct {
 	// state report (the node's self-claimed position). The controller
 	// wires this to the byzantine-telemetry guard.
 	OnPositionReport func(node string, report interface{})
+	// OnEnactment, when set, receives every completed command right
+	// after it is appended to Enactments (and before the command's own
+	// done callback runs, so observers see the completion first). The
+	// controller wires this to the obs enact/ack instrumentation.
+	OnEnactment func(Enactment)
 }
 
 type pendingCmd struct {
@@ -362,7 +367,7 @@ func (fe *Frontend) complete(p *pendingCmd, ok bool, via Channel, inferred bool)
 		p.timer.Cancel()
 	}
 	delete(fe.pending, p.cmd.ID)
-	fe.Enactments = append(fe.Enactments, Enactment{
+	e := Enactment{
 		Kind:        p.cmd.Kind,
 		SubmittedAt: p.submittedAt,
 		CompletedAt: fe.eng.Now(),
@@ -370,7 +375,11 @@ func (fe *Frontend) complete(p *pendingCmd, ok bool, via Channel, inferred bool)
 		OK:          ok,
 		Inferred:    inferred,
 		Channel:     via,
-	})
+	}
+	fe.Enactments = append(fe.Enactments, e)
+	if fe.OnEnactment != nil {
+		fe.OnEnactment(e)
+	}
 	if p.done != nil {
 		p.done(ok)
 	}

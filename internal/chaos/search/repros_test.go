@@ -3,7 +3,18 @@ package search
 import (
 	"path/filepath"
 	"testing"
+
+	"minkowski/internal/obs"
 )
+
+func hasMetric(ms []obs.MetricSnap, name string) bool {
+	for _, m := range ms {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
 
 // TestChaosRepros replays every committed reproducer in
 // testdata/repros/. Each file is a shrunk script the chaos search
@@ -48,6 +59,17 @@ func TestChaosRepros(t *testing.T) {
 			if !pre.Violated(s.Violates) {
 				t.Errorf("pre-fix run no longer violates %q (got %v) — the repro has gone stale",
 					s.Violates, pre.ViolatedNames())
+			}
+			// Every violating replay must come with its black box: the
+			// flight recorder captured at the first violation, and the
+			// end-of-run obs snapshot carrying chaos.margin.* gauges.
+			if pre.Flight == nil || len(pre.Flight.Records) == 0 {
+				t.Errorf("pre-fix violating run has no flight-recorder dump")
+			}
+			if pre.Obs == nil || len(pre.Obs.Metrics) == 0 {
+				t.Errorf("pre-fix violating run has no obs snapshot")
+			} else if !hasMetric(pre.Obs.Metrics, "chaos.margin."+s.Violates) {
+				t.Errorf("obs snapshot missing chaos.margin.%s gauge", s.Violates)
 			}
 		})
 	}

@@ -2,12 +2,14 @@ package search
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"minkowski/internal/chaos"
 	"minkowski/internal/core"
 	"minkowski/internal/geo"
 	"minkowski/internal/manet"
+	"minkowski/internal/obs"
 )
 
 // Options tune one script execution.
@@ -97,6 +99,15 @@ type Result struct {
 	Standdowns           int `json:"standdowns,omitempty"`
 	StaleEpochRejections int `json:"staleEpochRejections,omitempty"`
 	StaleEpochAccepts    int `json:"staleEpochAccepts,omitempty"`
+	// Flight is the flight recorder's black box, captured at the
+	// moment the first invariant violation was recorded (the last
+	// FlightWindowS sim-seconds of spans, events, and metrics on the
+	// acting replica). Nil on clean runs.
+	Flight *obs.FlightDump `json:"flight,omitempty"`
+	// Obs is the end-of-run metrics snapshot, attached only to
+	// violating runs. Violated-invariant margins appear in it as
+	// chaos.margin.<invariant> gauges.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Violated reports whether the named invariant was breached.
@@ -199,7 +210,13 @@ func runOnce(s Script, opts Options) (Result, error) {
 	c.InstallChaos(scn)
 
 	var violations []Violation
+	var flight *obs.FlightDump
 	record := func(inv, detail string) {
+		if flight == nil {
+			// Black box: grab the recorder ring at the FIRST violation,
+			// while the window still covers the moments leading up to it.
+			flight = c.ObsFlightDump()
+		}
 		violations = append(violations, Violation{
 			Invariant: inv, At: c.Eng.Now(), Detail: detail,
 		})
@@ -556,6 +573,23 @@ func runOnce(s Script, opts Options) (Result, error) {
 		}
 	}
 
+	// Violating runs ship an obs snapshot with the final margins
+	// mirrored as gauges (sorted registration order keeps the snapshot
+	// deterministic; the snapshot itself re-sorts by name anyway).
+	var snap *obs.Snapshot
+	if len(violations) > 0 {
+		invs := make([]string, 0, len(margins))
+		for inv := range margins {
+			invs = append(invs, inv)
+		}
+		sort.Strings(invs)
+		for _, inv := range invs {
+			c.Obs.Reg.Gauge("chaos.margin." + inv).Set(margins[inv])
+		}
+		sn := c.ObsSnapshot()
+		snap = &sn
+	}
+
 	return Result{
 		Script:               s,
 		Violations:           violations,
@@ -569,6 +603,8 @@ func runOnce(s Script, opts Options) (Result, error) {
 		Standdowns:           c.Standdowns,
 		StaleEpochRejections: c.Frontend.StaleEpochRejections(),
 		StaleEpochAccepts:    c.Frontend.StaleEpochAccepts(),
+		Flight:               flight,
+		Obs:                  snap,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"minkowski/internal/chaos"
+	"minkowski/internal/obs"
 )
 
 // SearchConfig parameterizes a search campaign.
@@ -75,6 +76,11 @@ type TrialResult struct {
 	// Margins is the run's per-invariant distance to violation (see
 	// Result.Margins) — the fitness evidence guided mode selects on.
 	Margins map[string]float64 `json:"margins,omitempty"`
+	// Flight is the flight-recorder black box captured at the first
+	// violation (see Result.Flight); Obs is the violating run's final
+	// metrics snapshot. Both nil on clean trials.
+	Flight *obs.FlightDump `json:"flight,omitempty"`
+	Obs    *obs.Snapshot   `json:"obs,omitempty"`
 	// Signature groups violating trials for corpus triage: the
 	// violated invariant plus the first fault kind plausibly involved.
 	// Only one representative per signature is shrunk.
@@ -449,6 +455,8 @@ func runScript(cfg SearchConfig, trial int, script Script) TrialResult {
 	}
 	tr.Violations = res.Violations
 	tr.Margins = res.Margins
+	tr.Flight = res.Flight
+	tr.Obs = res.Obs
 	return tr
 }
 

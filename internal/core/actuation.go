@@ -70,9 +70,11 @@ func (c *Controller) actuate(acts intent.Actions) {
 // other planes (lease, replication, telemetry) are untouched.
 func (c *Controller) sendFor(p *ctlState, cmd *cdpi.Command, done func(bool)) {
 	if c.cmdDeaf[p.replica] {
-		c.CmdDeafDrops++
+		c.obsm.cmdDeafDrops.Inc()
+		c.Obs.Rec.Event("cmd-deaf-drop", "replica="+p.replica)
 		return
 	}
+	c.obsm.dispatches.Inc()
 	c.Frontend.Send(cmd, done)
 }
 

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 
 	"minkowski/internal/chaos"
 	"minkowski/internal/dataplane"
@@ -114,6 +115,7 @@ func (c *Controller) Crash() {
 		c.Repl.Reset()
 		c.discardRogue()
 	}
+	c.Obs.Rec.Event("crash", "")
 	c.Log.Append(now, explain.EvAnomaly, "controller", "process crashed")
 }
 
@@ -135,6 +137,7 @@ func (c *Controller) Restart() {
 	}
 	c.down = false
 	c.Frontend.Restart()
+	c.Obs.Rec.Event("restart", "")
 	if c.Lease != nil {
 		if ep, ok := c.Lease.Acquire(c.actingID, c.Eng.Now()); ok {
 			c.epoch = ep
@@ -192,6 +195,9 @@ func (c *Controller) reconcileFromJournal(how string) {
 	}
 	c.Readopted += readoptedLinks + readoptedRoutes
 	c.ExpiredOnRestart += expired
+	c.Obs.Rec.Event("journal-reconcile", "how="+how+
+		" readopted="+strconv.Itoa(readoptedLinks+readoptedRoutes)+
+		" expired="+strconv.Itoa(expired))
 	c.Log.Appendf(now, explain.EvAnomaly, "controller",
 		"%s; reconciled from journal: links readopted=%d expired=%d routes readopted=%d",
 		how, readoptedLinks, expired, readoptedRoutes)
@@ -492,7 +498,7 @@ func (c *Controller) TelemetryDigest() uint64 {
 		c.Reach.Ratio(telemetry.LayerData))
 	if c.Lease != nil {
 		w("repl acting=%s epoch=%d grants=%d renewals=%d flapdeny=%d promotions=%d standdowns=%d rogue=%d pub=%d app=%d drop=%d aj=%x sj=%x\n",
-			c.actingID, c.epoch, len(c.Lease.Grants), c.Lease.Renewals, c.Lease.FlapDenials,
+			c.actingID, c.epoch, len(c.Lease.Grants), c.Lease.Renewals, c.Lease.FlapDenials(),
 			c.Promotions, c.Standdowns, c.RogueSolves,
 			c.Repl.Published, c.Repl.Applied, c.Repl.DroppedDisconnected,
 			c.Journal.Digest(), c.Repl.StandbyJournal().Digest())
@@ -506,13 +512,13 @@ func (c *Controller) TelemetryDigest() uint64 {
 			m.Injected, m.Delivered, m.Dropped, m.DroppedUnreachable,
 			m.DroppedUncontrollable, m.DroppedInGrace, m.LostBeyondGrace, m.MaxOutageS)
 	}
-	if len(c.cmdDeaf) > 0 || c.CmdDeafDrops > 0 {
+	if len(c.cmdDeaf) > 0 || c.CmdDeafDrops() > 0 {
 		deaf := make([]string, 0, len(c.cmdDeaf))
 		for r := range c.cmdDeaf {
 			deaf = append(deaf, r)
 		}
 		sort.Strings(deaf)
-		w("cmddeaf drops=%d deaf=%v\n", c.CmdDeafDrops, deaf)
+		w("cmddeaf drops=%d deaf=%v\n", c.CmdDeafDrops(), deaf)
 	}
 	return h.Sum64()
 }

@@ -91,8 +91,11 @@ type Config struct {
 	// --- Solve-pipeline performance knobs ---------------------------
 
 	// SolveWorkers caps the solver's per-request shortest-path fan-out
-	// (and forwards to solver.Config.Workers). 0 = GOMAXPROCS. Plans
-	// are byte-identical at every value.
+	// (forwarding to solver.Config.Workers) and, when > 0, also pins
+	// the Link Evaluator's sweep parallelism to the same width.
+	// 0 = GOMAXPROCS. Plans are byte-identical at every value; an
+	// explicit (> 0) value additionally makes per-shard obs spans
+	// well-defined, so the tracer emits them only then.
 	SolveWorkers int
 	// WarmSolve carries solver warm-start state between solve cycles
 	// so unchanged requests skip re-routing; output plans stay
@@ -104,6 +107,23 @@ type Config struct {
 	// at promotion — the pre-fix cold-standby behaviour, kept for the
 	// promotion-latency contrast experiment. Tests only.
 	DisableStandbyPrewarm bool
+
+	// --- Observability knobs (internal/obs, DESIGN §11) -------------
+
+	// ObsEnabled turns on the solve-cycle span tracer and the flight
+	// recorder. The metrics registry is always live regardless (it is
+	// the storage behind several telemetry counters). Tracing never
+	// feeds back into control decisions — plans, journals, and digests
+	// are byte-identical either way — so DefaultConfig enables it; the
+	// zero Config leaves it off, matching the WarmSolve convention for
+	// legacy scenarios.
+	ObsEnabled bool
+	// ObsFlightWindowS is the flight recorder's dump lookback in
+	// sim-seconds. 0 keeps the obs default (120).
+	ObsFlightWindowS float64
+	// ObsFlightCap bounds the flight-recorder ring. 0 keeps the obs
+	// default (4096 records).
+	ObsFlightCap int
 
 	// --- Robustness knobs -------------------------------------------
 
@@ -285,6 +305,7 @@ func DefaultConfig() Config {
 		},
 		SolveIntervalS:        120,
 		WarmSolve:             true,
+		ObsEnabled:            true,
 		PredictiveLeadS:       180,
 		TelemetrySampleS:      30,
 		AgentConnCheckS:       10,

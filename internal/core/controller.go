@@ -14,6 +14,7 @@ import (
 	"minkowski/internal/linkeval"
 	"minkowski/internal/manet"
 	"minkowski/internal/nbi"
+	"minkowski/internal/obs"
 	"minkowski/internal/platform"
 	"minkowski/internal/radio"
 	"minkowski/internal/satcom"
@@ -92,16 +93,18 @@ type Controller struct {
 	// standby promotions, deposed-primary standdowns at partition
 	// heal, and solve cycles a deposed primary ran while partitioned.
 	Promotions, Standdowns, RogueSolves int
-	// WarmAdoptions counts promotions that adopted a streamed solver
-	// warm-state snapshot (hot-standby pre-warm).
-	WarmAdoptions int
 
 	// Delivery is the end-to-end delivery accounting behind
 	// inv-dataplane-delivery (nil unless Cfg.DeliveryProbeS > 0).
 	Delivery *dataplane.DeliveryMeter
-	// CmdDeafDrops counts commands lost to a replica-partition fault
-	// (the issuing replica's command path was deafened).
-	CmdDeafDrops int
+
+	// Obs is the deterministic observability bundle (DESIGN §11):
+	// metrics registry (always live — it stores WarmAdoptions /
+	// CmdDeafDrops), solve-cycle span tracer, and flight recorder
+	// (both gated on Cfg.ObsEnabled). obsm holds the interned
+	// hot-path handles.
+	Obs  *obs.Obs
+	obsm obsMetrics
 
 	gateways []string
 	todOff   float64
@@ -150,6 +153,7 @@ type Controller struct {
 // New builds and wires a controller; call Run to simulate.
 func New(cfg Config) *Controller {
 	eng := sim.New(cfg.Seed)
+	ob, obsm := newObs(cfg, eng.Now)
 	wcfg := weather.DefaultConfig()
 	wcfg.Region = cfg.Region
 	wcfg.Season = cfg.Season
@@ -239,7 +243,7 @@ func New(cfg Config) *Controller {
 		reachPeriod = 86400
 	}
 	c := &Controller{
-		Cfg: cfg, Eng: eng,
+		Cfg: cfg, Eng: eng, Obs: ob, obsm: obsm,
 		Wx: wx, Wind: wd, FMS: fms, Fleet: fleet, Fabric: fabric,
 		Router: router, Net: net, Sat: sat, InBand: ib, Frontend: fe,
 		Gauges: gauges, WxModel: fused,
@@ -278,12 +282,20 @@ func New(cfg Config) *Controller {
 	evalCfg.DropMarginal = cfg.DropMarginalLinks
 	evalCfg.Incremental = !cfg.EvalBruteForce
 	evalCfg.DisplacementEpsM = cfg.EvalDisplacementEpsM
+	if cfg.SolveWorkers > 0 {
+		// Pin the evaluator's sweep width alongside the solver's, so
+		// per-shard obs spans are well-defined. Output is byte-identical
+		// at every width (worker-invariance tests), so this only fixes
+		// the shard layout, never the result.
+		evalCfg.Parallelism = cfg.SolveWorkers
+	}
 	c.Evaluator = linkeval.New(evalCfg, fused, c.predictPosition)
 	c.Evaluator.PredictBatch = c.predictPositionsBatch
 
 	fabric.OnUp = c.onLinkUp
 	fabric.OnDown = c.onLinkDown
 	fe.OnPositionReport = c.onPositionReport
+	fe.OnEnactment = c.onEnactment
 	// Register every initial node's SDN agent now — ground stations
 	// never appear in fleet join events, and the first solve cycle
 	// fires before the first fleet step.
@@ -302,6 +314,7 @@ func New(cfg Config) *Controller {
 		c.Repl = NewReplicator(eng, cfg.replDelay())
 		c.attachStandby()
 	}
+	c.installObs()
 	c.install()
 	return c
 }
@@ -585,12 +598,17 @@ func (c *Controller) manageService() {
 func (c *Controller) solveCycle() {
 	now := c.Eng.Now()
 	c.SolveRuns++
+	sp := c.Obs.Tracer.StartCycle("solve-cycle")
+	sp.SetAttrInt("cycle", c.SolveRuns)
+	defer sp.EndSpan()
 	c.checkWeatherStaleness()
 	c.evictFailMemory()
 	if c.solverDown {
 		// Degraded mode: the solver is failing or timing out. Keep the
 		// last-known-good plan in force — realign route state toward it
 		// but author nothing new.
+		c.obsm.solveHolds.Inc()
+		sp.SetAttrBool("held", true)
 		c.Log.Appendf(now, explain.EvAnomaly, fmt.Sprintf("cycle-%d", c.SolveRuns),
 			"solver unavailable; holding last-known-good plan")
 		c.realignRoutes()
@@ -598,11 +616,20 @@ func (c *Controller) solveCycle() {
 	}
 	xcvrs := c.Fleet.Transceivers()
 	if len(xcvrs) == 0 {
+		sp.SetAttrBool("empty", true)
 		return
 	}
+	ev := sp.Child("evaluate")
 	graph, edgeDelta := c.Evaluator.CandidateGraphDelta(xcvrs, c.Cfg.PredictiveLeadS)
 	evalDelta := c.Evaluator.Stats().Sub(c.lastEvalStats)
 	c.lastEvalStats = c.Evaluator.Stats()
+	ev.SetAttrInt("candidates", len(graph))
+	ev.SetAttrInt("pairs", int(evalDelta.PairsEnumerated))
+	ev.SetAttrInt("cache_hits", int(evalDelta.CacheHits))
+	ev.SetAttrInt("reevals", int(evalDelta.ReEvals))
+	ev.SetAttrInt("edge_churn", edgeDelta.Churn())
+	c.shardSpans(ev, "eval-shard", c.Evaluator.LastShardItems())
+	ev.EndSpan()
 	existing := map[radio.LinkID]bool{}
 	for _, l := range c.Fabric.UpLinks() {
 		existing[l.ID] = true
@@ -615,30 +642,53 @@ func (c *Controller) solveCycle() {
 		Drained:    c.drainedWithChaos(),
 		Penalties:  c.adaptivePenalties(),
 	}
+	so := sp.Child("solve")
 	var plan *solver.Plan
 	if c.Cfg.WarmSolve {
 		if c.warm == nil {
 			c.warm = solver.NewWarm()
 		}
 		plan = c.Solver.SolveWarm(in, c.warm)
-		if c.Repl != nil && !c.leasePartitioned {
-			// Stream this cycle's warm state to the standby seat so a
-			// promotion starts with a hot solver.
-			c.Repl.PublishWarm(c.warm)
-		}
 	} else {
 		plan = c.Solver.Solve(in)
 	}
+	ws := c.warm.Stats()
+	so.SetAttrInt("links", len(plan.Links))
+	so.SetAttrInt("routes", len(plan.Routes))
+	so.SetAttrInt("unsatisfied", len(plan.Unsatisfied))
+	so.SetAttrFloat("utility", plan.Utility)
+	if c.Cfg.WarmSolve {
+		wr := so.Child("warm-reuse")
+		wr.SetAttrInt("reused", ws.LastReused)
+		wr.SetAttrInt("recomputed", ws.LastRecomputed)
+		wr.EndSpan()
+	}
+	c.shardSpans(so, "solve-shard", c.Solver.LastShardLoads())
+	so.EndSpan()
+	if c.Cfg.WarmSolve && c.Repl != nil && !c.leasePartitioned {
+		// Stream this cycle's warm state to the standby seat so a
+		// promotion starts with a hot solver.
+		pub := sp.Child("replicate-warm")
+		c.Repl.PublishWarm(c.warm)
+		pub.EndSpan()
+	}
 	c.lastPlan = plan
 	c.realignRoutes()
-	ws := c.warm.Stats()
 	c.Log.Appendf(now, explain.EvSolve, fmt.Sprintf("cycle-%d", c.SolveRuns),
 		"candidates=%d links=%d redundant=%d routes=%d unsatisfied=%d utility=%.0f evalpairs=%d pruned=%d reevals=%d cachehits=%d edgechurn=%d pathreuse=%d/%d",
 		len(graph), len(plan.Links), plan.RedundantCount(), len(plan.Routes), len(plan.Unsatisfied), plan.Utility,
 		evalDelta.PairsEnumerated, evalDelta.PairsPruned, evalDelta.ReEvals, evalDelta.CacheHits,
 		edgeDelta.Churn(), ws.LastReused, ws.LastReused+ws.LastRecomputed)
+	di := sp.Child("dispatch")
 	acts := c.Intents.Reconcile(plan, now)
 	c.actuate(acts)
+	di.SetAttrInt("establish", len(acts.EstablishLinks))
+	di.SetAttrInt("withdraw", len(acts.WithdrawLinks))
+	di.SetAttrInt("program_routes", len(acts.ProgramRoutes))
+	di.SetAttrInt("remove_routes", len(acts.RemoveRoutes))
+	di.EndSpan()
+	c.Obs.Rec.Metric("solve-cycle",
+		cycleMetricDetail(len(plan.Links), len(plan.Routes), len(plan.Unsatisfied), plan.Utility))
 	// Snapshot for the scrubber.
 	c.snapshot(plan)
 }

@@ -21,32 +21,8 @@ import (
 // semantic ones.
 func TestEndToEndDeterminism(t *testing.T) {
 	run := func(mut func(*Config)) []byte {
-		cfg := DefaultConfig()
-		cfg.Seed = 7
-		cfg.FleetSize = 11 // experiments.baseScenario at scale 1
-		cfg.SolveIntervalS = 120
-		cfg.AgentConnCheckS = 10
-		if mut != nil {
-			mut(&cfg)
-		}
-		c := New(cfg)
-		c.RunHours(2)
-
-		var buf bytes.Buffer
-		for _, li := range c.Journal.Links() {
-			fmt.Fprintf(&buf, "link %+v\n", *li)
-		}
-		for _, ri := range c.Journal.Routes() {
-			fmt.Fprintf(&buf, "route %+v\n", *ri)
-		}
-		// The final candidate graph, field-wise (Reports hold
-		// transceiver pointers whose addresses differ across runs).
-		graph := c.Evaluator.CandidateGraph(c.Fleet.Transceivers(), c.Cfg.PredictiveLeadS)
-		for _, r := range graph {
-			fmt.Fprintf(&buf, "cand %v lead=%v budget=%+v class=%v dist=%v atmos=%v b2g=%v\n",
-				r.ID, r.Lead, r.Budget, r.Class, r.DistM, r.AtmosDB, r.B2G)
-		}
-		return buf.Bytes()
+		b, _ := runWithObs(mut)
+		return b
 	}
 	diff := func(label string, a, b []byte) {
 		t.Helper()
@@ -75,6 +51,74 @@ func TestEndToEndDeterminism(t *testing.T) {
 	diff("SolveWorkers=8", base, run(func(cfg *Config) { cfg.SolveWorkers = 8 }))
 	diff("WarmSolve=false", base, run(func(cfg *Config) { cfg.WarmSolve = false }))
 	diff("cold+workers", base, run(func(cfg *Config) { cfg.WarmSolve = false; cfg.SolveWorkers = 4 }))
+	// Observability must be a pure observer: turning the tracer and
+	// flight recorder off entirely must not move a byte of the journal.
+	diff("ObsEnabled=false", base, run(func(cfg *Config) { cfg.ObsEnabled = false }))
+}
+
+// TestObsSnapshotDeterminism extends the matrix to the observability
+// output itself: with the recorder fully enabled, two same-seed runs
+// must produce byte-identical encoded metric snapshots, and the
+// snapshot must not change with solve-pipeline configuration — worker
+// count and warm reuse are invisible to the registry (shard layout
+// appears only in span trees, and only at an explicitly pinned
+// width).
+func TestObsSnapshotDeterminism(t *testing.T) {
+	snap := func(mut func(*Config)) []byte {
+		_, s := runWithObs(mut)
+		return s
+	}
+	base := snap(nil)
+	if len(base) == 0 {
+		t.Fatal("empty obs snapshot")
+	}
+	for _, tc := range []struct {
+		label string
+		mut   func(*Config)
+	}{
+		{"repeat run", nil},
+		{"SolveWorkers=2", func(cfg *Config) { cfg.SolveWorkers = 2 }},
+		{"SolveWorkers=8", func(cfg *Config) { cfg.SolveWorkers = 8 }},
+	} {
+		if got := snap(tc.mut); !bytes.Equal(base, got) {
+			t.Errorf("%s: obs snapshot diverges from baseline\nbase:\n%s\ngot:\n%s", tc.label, base, got)
+		}
+	}
+}
+
+// runWithObs runs the scale-1 determinism scenario and returns the
+// journal+graph bytes and the encoded obs snapshot.
+func runWithObs(mut func(*Config)) (journal, obsSnap []byte) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.FleetSize = 11 // experiments.baseScenario at scale 1
+	cfg.SolveIntervalS = 120
+	cfg.AgentConnCheckS = 10
+	if mut != nil {
+		mut(&cfg)
+	}
+	c := New(cfg)
+	c.RunHours(2)
+
+	var buf bytes.Buffer
+	for _, li := range c.Journal.Links() {
+		fmt.Fprintf(&buf, "link %+v\n", *li)
+	}
+	for _, ri := range c.Journal.Routes() {
+		fmt.Fprintf(&buf, "route %+v\n", *ri)
+	}
+	// The final candidate graph, field-wise (Reports hold
+	// transceiver pointers whose addresses differ across runs).
+	graph := c.Evaluator.CandidateGraph(c.Fleet.Transceivers(), c.Cfg.PredictiveLeadS)
+	for _, r := range graph {
+		fmt.Fprintf(&buf, "cand %v lead=%v budget=%+v class=%v dist=%v atmos=%v b2g=%v\n",
+			r.ID, r.Lead, r.Budget, r.Class, r.DistM, r.AtmosDB, r.B2G)
+	}
+	enc, err := c.ObsSnapshot().Encode()
+	if err != nil {
+		panic(err)
+	}
+	return buf.Bytes(), enc
 }
 
 // TestEndToEndDeterminismScale3Chaos extends the determinism

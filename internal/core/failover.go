@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"minkowski/internal/explain"
 	"minkowski/internal/intent"
 	"minkowski/internal/radio"
@@ -143,7 +145,7 @@ func (c *Controller) promote(epoch uint64) {
 		c.Repl.TakeStandbyWarm()
 		c.Evaluator.DropCache()
 	} else if warm = c.Repl.TakeStandbyWarm(); warm != nil {
-		c.WarmAdoptions++
+		c.obsm.warmAdoptions.Inc()
 	}
 	c.ctlState = ctlState{
 		Intents: intent.NewStore(),
@@ -156,6 +158,8 @@ func (c *Controller) promote(epoch uint64) {
 	c.actingID, c.standbyID = c.standbyID, c.actingID
 	c.standbyDown = true // the promoted replica has no standby yet
 	c.Promotions++
+	c.Obs.Rec.SetReplica(c.actingID)
+	c.Obs.Rec.Event("promote", "replica="+c.actingID+" epoch="+strconv.FormatUint(epoch, 10))
 	c.Log.Appendf(now, explain.EvAnomaly, "controller",
 		"standby %s promoted to primary at epoch %d (lease lapsed)", c.actingID, epoch)
 	c.reconcileFromJournal("promoted")
@@ -188,6 +192,7 @@ func (c *Controller) FailPrimary() {
 	c.Crashes++
 	c.dropActingMemory()
 	c.Frontend.Crash()
+	c.Obs.Rec.Event("fail-primary", "replica="+c.actingID)
 	c.Log.Append(c.Eng.Now(), explain.EvAnomaly, "controller",
 		"primary process died; standby replica alive, lease will lapse")
 }
@@ -244,6 +249,7 @@ func (c *Controller) HealPrimary() {
 		dep, ep := c.rogue.replica, c.rogue.epoch
 		c.discardRogue()
 		c.Standdowns++
+		c.Obs.Rec.Event("standdown", "replica="+dep+" stale_epoch="+strconv.FormatUint(ep, 10))
 		c.Log.Appendf(now, explain.EvAnomaly, "controller",
 			"partition healed: deposed primary %s stood down (stale epoch %d < %d) and rejoins as standby",
 			dep, ep, c.epoch)

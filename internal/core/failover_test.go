@@ -100,8 +100,8 @@ func TestFailoverAdoptsStreamedWarmState(t *testing.T) {
 	if c.Repl.WarmApplied == 0 {
 		t.Fatal("WarmApplied = 0 — no warm snapshot ever landed on the standby seat")
 	}
-	if c.WarmAdoptions != 1 {
-		t.Fatalf("WarmAdoptions = %d, want 1 — the promotion did not adopt the streamed snapshot", c.WarmAdoptions)
+	if c.WarmAdoptions() != 1 {
+		t.Fatalf("WarmAdoptions = %d, want 1 — the promotion did not adopt the streamed snapshot", c.WarmAdoptions())
 	}
 	// The promoted replica kept warm-solving: its warm state is live and
 	// has reused paths across cycles (the adopted snapshot made the very
@@ -125,8 +125,8 @@ func TestFailoverAdoptsStreamedWarmState(t *testing.T) {
 	if cc.Promotions != 1 {
 		t.Fatalf("contrast Promotions = %d, want 1", cc.Promotions)
 	}
-	if cc.WarmAdoptions != 0 {
-		t.Errorf("contrast WarmAdoptions = %d, want 0 with DisableStandbyPrewarm", cc.WarmAdoptions)
+	if cc.WarmAdoptions() != 0 {
+		t.Errorf("contrast WarmAdoptions = %d, want 0 with DisableStandbyPrewarm", cc.WarmAdoptions())
 	}
 
 	// And with warm solving off entirely, nothing is ever published.

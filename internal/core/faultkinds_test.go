@@ -22,8 +22,8 @@ func TestLeaseServiceFlap(t *testing.T) {
 	if _, ok := s.Acquire("ctl-b", 40); ok {
 		t.Error("acquire succeeded while flapping (lease even lapsed)")
 	}
-	if s.FlapDenials != 2 {
-		t.Errorf("FlapDenials = %d, want 2", s.FlapDenials)
+	if s.FlapDenials() != 2 {
+		t.Errorf("FlapDenials = %d, want 2", s.FlapDenials())
 	}
 	// Reads still serve the cell's existing state: the lease shows its
 	// holder while live, then lapses on its own clock.
@@ -60,7 +60,7 @@ func TestLeaseFlapIntegration(t *testing.T) {
 	})
 	c.RunHours(3)
 
-	if c.Lease.FlapDenials == 0 {
+	if c.Lease.FlapDenials() == 0 {
 		t.Error("FlapDenials = 0 — the flap window never denied a write")
 	}
 	if c.Lease.Epoch() < 2 {
@@ -97,7 +97,7 @@ func TestReplicaPartitionIntegration(t *testing.T) {
 	})
 	c.RunHours(3)
 
-	if c.CmdDeafDrops == 0 {
+	if c.CmdDeafDrops() == 0 {
 		t.Error("CmdDeafDrops = 0 — the deaf window never dropped a command")
 	}
 	if c.Promotions != 0 {

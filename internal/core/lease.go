@@ -40,12 +40,18 @@ type LeaseService struct {
 
 	// Renewals counts successful renewals (telemetry).
 	Renewals int
-	// FlapDenials counts Acquire/Renew requests dropped while the cell
-	// was flapping (telemetry).
-	FlapDenials int
+	// flapDenials counts Acquire/Renew requests dropped while the cell
+	// was flapping; read it via FlapDenials. The obs registry mirrors
+	// it as the lease.flap_denials gauge, but the authoritative count
+	// lives here so a bare LeaseService keeps counting without one.
+	flapDenials int
 	// Grants is the full tenure history, for the single-leader audit.
 	Grants []LeaseGrant
 }
+
+// FlapDenials reports how many Acquire/Renew requests were dropped
+// while the cell was flapping (telemetry).
+func (s *LeaseService) FlapDenials() int { return s.flapDenials }
 
 // SetFlapping starts or ends an unreliable-cell window.
 func (s *LeaseService) SetFlapping(active bool) { s.flapping = active }
@@ -59,7 +65,7 @@ func (s *LeaseService) Flapping() bool { return s.flapping }
 // lease is live.
 func (s *LeaseService) Acquire(id string, now float64) (uint64, bool) {
 	if s.flapping {
-		s.FlapDenials++
+		s.flapDenials++
 		return 0, false
 	}
 	if s.holder != "" && s.holder != id && now < s.expiresAt {
@@ -77,7 +83,7 @@ func (s *LeaseService) Acquire(id string, now float64) (uint64, bool) {
 // epoch) — this is what makes a partitioned primary's epoch go stale.
 func (s *LeaseService) Renew(id string, now float64) bool {
 	if s.flapping {
-		s.FlapDenials++
+		s.flapDenials++
 		return false
 	}
 	if s.holder != id || now >= s.expiresAt {

@@ -241,7 +241,9 @@ func (e *Evaluator) incrementalGraph(xcvrs []*platform.Transceiver, lead float64
 	// and stats are committed serially after the join.
 	workers := e.workerCount(len(tasks))
 	e.ensureWorkers(workers)
+	e.resetShardItems(workers)
 	if workers <= 1 {
+		e.lastShardItems[0] = len(tasks)
 		st := &scr.workers[0]
 		for _, t := range tasks {
 			e.runTask(t, lead, st, xcvrs)
@@ -258,6 +260,7 @@ func (e *Evaluator) incrementalGraph(xcvrs []*platform.Transceiver, lead float64
 			if lo >= hi {
 				break
 			}
+			e.lastShardItems[w] = hi - lo
 			wg.Add(1)
 			go func(lo, hi, w int) {
 				defer wg.Done()

@@ -203,6 +203,15 @@ type Evaluator struct {
 	stats        Stats
 	scr          graphScratch
 
+	// lastShardItems records, per worker slot, how many evaluation
+	// tasks the most recent graph build's fan-out assigned to it.
+	// Written caller-side in the scheduling loop (never inside worker
+	// goroutines), so reading it is race-free on the sim loop. Only
+	// meaningful for obs shard spans when Config.Parallelism is
+	// explicitly pinned — at the GOMAXPROCS default the layout is
+	// machine-dependent and the tracer must not export it.
+	lastShardItems []int
+
 	// last is the previous CandidateGraphDelta emission (value
 	// snapshots, ID-sorted), for edge-delta computation. haveLast
 	// tracks baseline validity explicitly so an empty previous graph
@@ -550,7 +559,9 @@ func (e *Evaluator) bruteForceGraph(xcvrs []*platform.Transceiver, lead float64)
 	results := e.resizeResults(len(pairs))
 	workers := e.workerCount(len(pairs))
 	e.ensureWorkers(workers)
+	e.resetShardItems(workers)
 	if workers <= 1 {
+		e.lastShardItems[0] = len(pairs)
 		s := &e.scr.workers[0].scratch
 		for k, p := range pairs {
 			results[k] = e.evaluatePairScratch(xcvrs[p.a], xcvrs[p.b], lead, s)
@@ -567,6 +578,7 @@ func (e *Evaluator) bruteForceGraph(xcvrs []*platform.Transceiver, lead float64)
 			if lo >= hi {
 				break
 			}
+			e.lastShardItems[w] = hi - lo
 			wg.Add(1)
 			go func(lo, hi, w int) {
 				defer wg.Done()
@@ -599,6 +611,23 @@ func (e *Evaluator) bruteForceGraph(xcvrs []*platform.Transceiver, lead float64)
 	})
 	return out
 }
+
+// resetShardItems re-zeroes the per-worker task counts for a new
+// graph build's fan-out.
+func (e *Evaluator) resetShardItems(workers int) {
+	if cap(e.lastShardItems) < workers {
+		e.lastShardItems = make([]int, workers)
+	}
+	e.lastShardItems = e.lastShardItems[:workers]
+	for i := range e.lastShardItems {
+		e.lastShardItems[i] = 0
+	}
+}
+
+// LastShardItems returns the per-worker task counts of the most
+// recent candidate-graph build (slot i = worker i). The slice is
+// reused across builds; callers must not retain it.
+func (e *Evaluator) LastShardItems() []int { return e.lastShardItems }
 
 func (e *Evaluator) workerCount(items int) int {
 	workers := e.cfg.Parallelism

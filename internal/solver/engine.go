@@ -298,6 +298,7 @@ func (s *Solver) forEach(n int, fn func(i int, ws *spScratch)) {
 	}
 	w := s.workerCount(n)
 	if w <= 1 || n <= 2 {
+		s.lastShardLoads[0] += n
 		ws := &s.c.workers[0]
 		for i := 0; i < n; i++ {
 			fn(i, ws)
@@ -312,6 +313,7 @@ func (s *Solver) forEach(n int, fn func(i int, ws *spScratch)) {
 			break
 		}
 		hi := min(lo+chunk, n)
+		s.lastShardLoads[wk] += hi - lo
 		wg.Add(1)
 		go func(lo, hi int, ws *spScratch) {
 			defer wg.Done()
@@ -335,6 +337,13 @@ func (s *Solver) run(in *Input, w *Warm) *Plan {
 		maxW = runtime.GOMAXPROCS(0)
 	}
 	c.reset(s.cfg, in, maxW)
+	if cap(s.lastShardLoads) < maxW {
+		s.lastShardLoads = make([]int, maxW)
+	}
+	s.lastShardLoads = s.lastShardLoads[:maxW]
+	for i := range s.lastShardLoads {
+		s.lastShardLoads[i] = 0
+	}
 	nR := len(in.Requests)
 	plan := &Plan{Routes: make(map[string][]string, nR)}
 

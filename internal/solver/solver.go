@@ -222,7 +222,20 @@ func DefaultConfig() Config {
 type Solver struct {
 	cfg Config
 	c   ctx
+	// lastShardLoads accumulates, per worker slot, how many routing
+	// tasks the previous run's forEach calls assigned to it. Recorded
+	// caller-side in the scheduling loop (never inside the worker
+	// goroutines), so reading it is race-free on the sim loop. Only
+	// meaningful for obs shard spans when cfg.Workers is explicitly
+	// pinned — at the GOMAXPROCS default the layout is
+	// machine-dependent and the tracer must not export it.
+	lastShardLoads []int
 }
+
+// LastShardLoads returns the per-worker task counts of the most
+// recent solve (slot i = worker i). The slice is reused across
+// solves; callers must not retain it.
+func (s *Solver) LastShardLoads() []int { return s.lastShardLoads }
 
 // New creates a solver.
 func New(cfg Config) *Solver { return &Solver{cfg: cfg} }

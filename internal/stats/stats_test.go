@@ -32,6 +32,111 @@ func TestQuantileEmpty(t *testing.T) {
 	}
 }
 
+func TestQuantileSingleSample(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%v) on single sample = %v, want 42", q, got)
+		}
+	}
+	if got := s.Min(); got != 42 {
+		t.Errorf("Min = %v, want 42", got)
+	}
+	if got := s.Max(); got != 42 {
+		t.Errorf("Max = %v, want 42", got)
+	}
+	if got := s.Stddev(); got != 0 {
+		t.Errorf("Stddev of single sample = %v, want 0", got)
+	}
+}
+
+func TestQuantileDuplicateValues(t *testing.T) {
+	// Nearest-rank over an all-equal sample must return that value at
+	// every q, and a heavily tied sample must return a tied value at
+	// quantiles inside the tie run.
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(7)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("all-equal Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	var m Sample
+	m.AddAll([]float64{1, 5, 5, 5, 5, 5, 5, 5, 5, 9})
+	if got := m.Median(); got != 5 {
+		t.Errorf("tied median = %v, want 5", got)
+	}
+	if got := m.Quantile(0.2); got != 5 {
+		t.Errorf("Quantile(0.2) = %v, want 5 (inside tie run)", got)
+	}
+	if got := m.Quantile(0.05); got != 1 {
+		t.Errorf("Quantile(0.05) = %v, want 1", got)
+	}
+	if got := m.Quantile(1); got != 9 {
+		t.Errorf("Quantile(1) = %v, want 9", got)
+	}
+}
+
+func TestQuantileOutOfRangeQ(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1, 2})
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %v, want min", got)
+	}
+	if got := s.Quantile(1.5); got != 3 {
+		t.Errorf("Quantile(1.5) = %v, want max", got)
+	}
+}
+
+func TestCDFEdgeCases(t *testing.T) {
+	// Empty sample and degenerate n both yield nil — the plotting
+	// layer treats that as "no series", never a zero-length axis.
+	var empty Sample
+	if got := empty.CDF(10); got != nil {
+		t.Errorf("empty CDF = %v, want nil", got)
+	}
+	var s Sample
+	s.Add(1)
+	if got := s.CDF(1); got != nil {
+		t.Errorf("CDF(n=1) = %v, want nil", got)
+	}
+	if got := s.CDF(0); got != nil {
+		t.Errorf("CDF(n=0) = %v, want nil", got)
+	}
+	// Single observation: every point carries the same X and P spans [0,1].
+	cdf := s.CDF(5)
+	if len(cdf) != 5 {
+		t.Fatalf("len = %d, want 5", len(cdf))
+	}
+	for _, p := range cdf {
+		if p.X != 1 {
+			t.Errorf("single-sample CDF X = %v, want 1", p.X)
+		}
+	}
+	if cdf[0].P != 0 || cdf[4].P != 1 {
+		t.Error("CDF must span [0,1]")
+	}
+	// Duplicates: X stays monotone (non-decreasing) through tie runs.
+	var d Sample
+	d.AddAll([]float64{2, 2, 2, 2, 8})
+	pts := d.CDF(6)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X {
+			t.Errorf("CDF X not monotone at %d: %v < %v", i, pts[i].X, pts[i-1].X)
+		}
+	}
+}
+
+func TestFracBelowEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.FracBelow(1)) {
+		t.Error("empty FracBelow must be NaN")
+	}
+}
+
 func TestQuantileMonotoneProperty(t *testing.T) {
 	f := func(xs []float64, q1, q2 float64) bool {
 		if len(xs) == 0 {
